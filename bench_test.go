@@ -1,0 +1,445 @@
+// Benchmarks regenerating every table and figure of the paper (macro
+// benches, one per experiment), the ablation studies called out in
+// DESIGN.md, and micro benchmarks of the building blocks. Run a single
+// experiment with e.g.
+//
+//	go test -bench 'BenchmarkFig10' -benchtime 1x
+package betze_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze"
+	"github.com/joda-explore/betze/internal/analyze"
+	"github.com/joda-explore/betze/internal/bsonlite"
+	"github.com/joda-explore/betze/internal/harness"
+	"github.com/joda-explore/betze/internal/jsonblite"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/lz"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// benchEnv is shared across the macro benches: datasets are generated and
+// analyzed once. The scale is deliberately small so the full bench suite
+// finishes in minutes; raise it via cmd/betze-bench for paper-scale runs.
+var (
+	envOnce sync.Once
+	env     *harness.Env
+	envErr  error
+)
+
+func benchEnvironment(b *testing.B) *harness.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = harness.NewEnv(harness.Config{
+			TwitterDocs:  3000,
+			NoBenchDocs:  5000,
+			NoBenchSweep: []int{1000, 5000, 20000},
+			RedditDocs:   5000,
+			Sessions:     5,
+			GridSessions: 1,
+			Timeout:      2 * time.Minute,
+			Seed:         123,
+		})
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// benchExperiment runs one paper experiment per iteration and logs its
+// rendered output once.
+func benchExperiment(b *testing.B, id string) {
+	e := benchEnvironment(b)
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, err = exp.Run(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Logf("%s:\n%s", exp.Title, out)
+	}
+}
+
+// One macro bench per table and figure of the paper.
+
+func BenchmarkPresetsTable1(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig5UserTrends(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6SessionDistribution(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7AlphaBetaGrid(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8PredicateMix(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9ThreadScaling(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10DatasetScaling(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkTable2SessionTimes(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkTable3Matrix(b *testing.B)            { benchExperiment(b, "table3") }
+func BenchmarkTable4PathDepths(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkGenerationCost(b *testing.B)          { benchExperiment(b, "gencost") }
+func BenchmarkAttributeSkew(b *testing.B)           { benchExperiment(b, "skew") }
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// benchSession builds a reusable session and dataset for engine ablations.
+func ablationWorkload(b *testing.B, docs int) ([]jsonval.Value, *betze.Session) {
+	b.Helper()
+	values := betze.TwitterSource().Generate(docs, 11)
+	stats := betze.AnalyzeValues("Twitter", values, betze.AnalyzeOptions{})
+	backend := betze.NewJODA(betze.JODAOptions{})
+	backend.ImportValues("Twitter", values)
+	defer backend.Close()
+	session, err := betze.Generate(betze.Options{Preset: betze.Novice, Seed: 123, Backend: backend}, stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return values, session
+}
+
+// BenchmarkAblationResultCache quantifies jodasim's per-predicate result
+// cache — the delta-tree mechanism behind Fig. 5's declining query times.
+func BenchmarkAblationResultCache(b *testing.B) {
+	docs, session := ablationWorkload(b, 4000)
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "nocache"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := betze.NewJODA(betze.JODAOptions{DisableCache: !cached})
+				eng.ImportValues("Twitter", docs)
+				for _, q := range session.Queries {
+					if _, err := eng.Execute(context.Background(), q, io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAnalyzeParallel compares the sequential and parallel
+// analyzer paths.
+func BenchmarkAblationAnalyzeParallel(b *testing.B) {
+	docs := betze.TwitterSource().Generate(4000, 13)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analyze.Values("tw", docs, analyze.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVerification compares generation with backend-verified
+// selectivities against statistics-only scaling (the paper's
+// "not recommended" mode).
+func BenchmarkAblationVerification(b *testing.B) {
+	docs := betze.TwitterSource().Generate(4000, 17)
+	stats := betze.AnalyzeValues("Twitter", docs, betze.AnalyzeOptions{})
+	b.Run("verified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			backend := betze.NewJODA(betze.JODAOptions{})
+			backend.ImportValues("Twitter", docs)
+			if _, err := betze.Generate(betze.Options{Preset: betze.Novice, Seed: int64(i), Backend: backend}, stats); err != nil {
+				b.Fatal(err)
+			}
+			backend.Close()
+		}
+	})
+	b.Run("stats-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := betze.Generate(betze.Options{Preset: betze.Novice, Seed: int64(i)}, stats); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLazyBSON compares mongosim's lazy path walks against full
+// per-document decoding.
+func BenchmarkAblationLazyBSON(b *testing.B) {
+	docs, session := ablationWorkload(b, 4000)
+	for _, full := range []bool{false, true} {
+		name := "lazy"
+		if full {
+			name = "fulldecode"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := betze.NewMongoDB(betze.MongoOptions{FullDecode: full})
+			eng.ImportValues("Twitter", docs)
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range session.Queries {
+					if _, err := eng.Execute(context.Background(), q, io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPgLazyLookup compares pgsim's default per-leaf-detoast
+// lazy evaluation with a single whole-document decode per row.
+func BenchmarkAblationPgLazyLookup(b *testing.B) {
+	docs, session := ablationWorkload(b, 4000)
+	for _, full := range []bool{false, true} {
+		name := "perleaf-detoast"
+		if full {
+			name = "fulldecode"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := betze.NewPostgreSQL(betze.PostgresOptions{FullDecode: full})
+			if err := eng.ImportValues("Twitter", docs); err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range session.Queries {
+					if _, err := eng.Execute(context.Background(), q, io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWeightedPaths compares generation with and without the
+// depth-weighted attribute choice of §IV-C.
+func BenchmarkAblationWeightedPaths(b *testing.B) {
+	docs := betze.TwitterSource().Generate(3000, 19)
+	stats := betze.AnalyzeValues("Twitter", docs, betze.AnalyzeOptions{})
+	for _, weighted := range []bool{false, true} {
+		name := "uniform"
+		if weighted {
+			name = "weighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := betze.Generate(betze.Options{Seed: int64(i), WeightedPaths: weighted}, stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro benches of the substrates ---
+
+func twitterSample(n int) ([]jsonval.Value, [][]byte) {
+	docs := betze.TwitterSource().Generate(n, 23)
+	raw := make([][]byte, n)
+	for i, d := range docs {
+		raw[i] = jsonval.AppendJSON(nil, d)
+	}
+	return docs, raw
+}
+
+func BenchmarkJSONParse(b *testing.B) {
+	docs, raw := twitterSample(500)
+	var bytes int64
+	for _, r := range raw {
+		bytes += int64(len(r))
+	}
+	_ = docs
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range raw {
+			if _, err := jsonval.Parse(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkJSONSerialize(b *testing.B) {
+	docs, raw := twitterSample(500)
+	var bytes int64
+	for _, r := range raw {
+		bytes += int64(len(r))
+	}
+	b.SetBytes(bytes)
+	buf := make([]byte, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			buf = jsonval.AppendJSON(buf[:0], d)
+		}
+	}
+}
+
+func BenchmarkBSONEncode(b *testing.B) {
+	docs, _ := twitterSample(500)
+	buf := make([]byte, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			buf = bsonlite.Encode(buf[:0], d)
+		}
+	}
+}
+
+func BenchmarkBSONLookupVsDecode(b *testing.B) {
+	docs, _ := twitterSample(500)
+	encoded := make([][]byte, len(docs))
+	for i, d := range docs {
+		encoded[i] = bsonlite.Encode(nil, d)
+	}
+	path := jsonval.ParsePath("/user/verified")
+	b.Run("lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, e := range encoded {
+				if _, _, err := bsonlite.Lookup(e, path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, e := range encoded {
+				if _, err := bsonlite.Decode(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkJSONBEncodeDecode(b *testing.B) {
+	docs, _ := twitterSample(500)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range docs {
+				if _, err := jsonblite.Encode(nil, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	encoded := make([][]byte, len(docs))
+	for i, d := range docs {
+		data, err := jsonblite.Encode(nil, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded[i] = data
+	}
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, e := range encoded {
+				if _, err := jsonblite.Decode(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkPredicateEval(b *testing.B) {
+	docs, _ := twitterSample(2000)
+	pred := query.And{
+		Left:  query.Exists{Path: "/user"},
+		Right: query.FloatCmp{Path: "/user/followers_count", Op: query.Ge, Value: 1000},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			pred.Eval(d)
+		}
+	}
+}
+
+func BenchmarkGenerateSession(b *testing.B) {
+	docs := betze.TwitterSource().Generate(3000, 29)
+	stats := betze.AnalyzeValues("Twitter", docs, betze.AnalyzeOptions{})
+	backend := betze.NewJODA(betze.JODAOptions{})
+	backend.ImportValues("Twitter", docs)
+	defer backend.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := betze.Generate(betze.Options{Preset: betze.Intermediate, Seed: int64(i), Backend: backend}, stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransforms measures the cost of the transformation stage
+// (the §VII extension) relative to plain materialised sessions.
+func BenchmarkAblationTransforms(b *testing.B) {
+	docs := betze.TwitterSource().Generate(3000, 37)
+	stats := betze.AnalyzeValues("Twitter", docs, betze.AnalyzeOptions{})
+	for _, transforms := range []bool{false, true} {
+		name := "plain"
+		if transforms {
+			name = "transforms"
+		}
+		session, err := betze.Generate(betze.Options{
+			Preset: betze.Intermediate, Seed: 3,
+			Materialize: true, Transforms: transforms, TransformFraction: 1,
+		}, stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := betze.NewJODA(betze.JODAOptions{})
+				eng.ImportValues("Twitter", docs)
+				for _, q := range session.Queries {
+					if _, err := eng.Execute(context.Background(), q, io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkLZCodec measures the storage codec the engines share (pglz/snappy
+// stand-in).
+func BenchmarkLZCodec(b *testing.B) {
+	_, raw := twitterSample(500)
+	var flat []byte
+	for _, r := range raw {
+		flat = append(flat, r...)
+		flat = append(flat, '\n')
+	}
+	compressed := lz.Compress(nil, flat)
+	b.Logf("ratio: %d -> %d bytes (%.1f%%)", len(flat), len(compressed), 100*float64(len(compressed))/float64(len(flat)))
+	b.Run("compress", func(b *testing.B) {
+		b.SetBytes(int64(len(flat)))
+		buf := make([]byte, 0, len(flat))
+		for i := 0; i < b.N; i++ {
+			buf = lz.Compress(buf[:0], flat)
+		}
+	})
+	b.Run("decompress", func(b *testing.B) {
+		b.SetBytes(int64(len(flat)))
+		buf := make([]byte, 0, len(flat))
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = lz.Decompress(buf[:0], compressed)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package betze is the public facade of the BETZE benchmark generator
+// (Schäfer & Michel, "BETZE: Benchmarking Data Exploration Tools with
+// (Almost) Zero Effort", ICDE 2022): a generator for exploratory query
+// benchmarks over arbitrary JSON datasets.
+//
+// The typical workflow mirrors the paper's two-step CLI flow:
+//
+//	stats, _ := betze.AnalyzeFile("Twitter", "twitter.json", betze.AnalyzeOptions{})
+//	session, _ := betze.Generate(betze.Options{Preset: betze.Expert, Seed: 123}, stats)
+//	for _, lang := range betze.Languages() {
+//	    fmt.Println(betze.Script(lang, session.Queries))
+//	}
+//
+// Generated sessions can be executed against the four built-in engines
+// (NewJODA, NewMongoDB, NewPostgreSQL, NewJQ), translated to the four query
+// languages, or stored as session files for later benchmarking. The
+// cmd/betze CLI and cmd/betze-bench experiment driver are thin wrappers
+// around this API.
+package betze
+
+import (
+	"io"
+
+	"github.com/joda-explore/betze/internal/analyze"
+	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/datasets"
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/engine/jqsim"
+	"github.com/joda-explore/betze/internal/engine/mongosim"
+	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/jsonstats"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	_ "github.com/joda-explore/betze/internal/langs/all" // register the built-in languages
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Core generator types (§III, §IV of the paper).
+type (
+	// Preset is a named random-explorer configuration (Table I).
+	Preset = core.Preset
+	// Options configures one generator run; see the field docs.
+	Options = core.Options
+	// Session is a generated exploration session: queries, dependency
+	// graph and explorer walk.
+	Session = core.Session
+	// SessionFile is the shareable on-disk session form.
+	SessionFile = core.SessionFile
+	// Backend verifies generated selectivities against actual data.
+	Backend = core.Backend
+	// Factory generates one predicate type; implement it to extend the
+	// generator (§IV-D).
+	Factory = core.Factory
+)
+
+// The Table I presets.
+var (
+	Novice       = core.Novice
+	Intermediate = core.Intermediate
+	Expert       = core.Expert
+)
+
+// Presets lists the built-in user configurations.
+func Presets() []Preset { return core.Presets() }
+
+// PresetByName resolves "novice", "intermediate" or "expert".
+func PresetByName(name string) (Preset, error) { return core.PresetByName(name) }
+
+// Generate runs the random explorer once over the analyzed datasets.
+func Generate(opts Options, datasets ...*Stats) (*Session, error) {
+	return core.Generate(opts, datasets...)
+}
+
+// WriteSessionFile stores a session for later benchmarking or sharing.
+func WriteSessionFile(path string, s *Session) error { return core.WriteSessionFile(path, s) }
+
+// ReadSessionFile loads a stored session.
+func ReadSessionFile(path string) (*SessionFile, error) { return core.ReadSessionFile(path) }
+
+// Analysis types (§IV-A).
+type (
+	// Stats is the statistical dataset summary the generator works on.
+	Stats = jsonstats.Dataset
+	// StatsConfig bounds the string statistics of the analyzer.
+	StatsConfig = jsonstats.Config
+	// AnalyzeOptions configures an analyzer run.
+	AnalyzeOptions = analyze.Options
+)
+
+// AnalyzeFile summarises a newline-delimited JSON file.
+func AnalyzeFile(name, path string, opts AnalyzeOptions) (*Stats, error) {
+	return analyze.File(name, path, opts)
+}
+
+// AnalyzeReader summarises a JSON document stream.
+func AnalyzeReader(name string, r io.Reader, opts AnalyzeOptions) (*Stats, error) {
+	return analyze.Reader(name, r, opts)
+}
+
+// AnalyzeValues summarises in-memory documents.
+func AnalyzeValues(name string, docs []Value, opts AnalyzeOptions) *Stats {
+	return analyze.Values(name, docs, opts)
+}
+
+// ReadStats loads an analysis file written by Stats.WriteTo.
+func ReadStats(r io.Reader) (*Stats, error) { return jsonstats.ReadFrom(r) }
+
+// Query representation (§IV-D).
+type (
+	// Query is the internal representation translated per system.
+	Query = query.Query
+	// Predicate is a filter-tree node.
+	Predicate = query.Predicate
+	// Aggregation is the optional aggregation stage.
+	Aggregation = query.Aggregation
+	// Transform is the optional attribute rename/remove/add stage (the
+	// paper's future-work extension; enable generation with
+	// Options.Transforms).
+	Transform = query.Transform
+	// TransformOp is one transformation step.
+	TransformOp = query.TransformOp
+)
+
+// Transform operation kinds.
+const (
+	TransformRename = query.TransformRename
+	TransformRemove = query.TransformRemove
+	TransformAdd    = query.TransformAdd
+)
+
+// Language translation (Listing 3).
+type (
+	// Language renders queries in one system's syntax; register custom
+	// implementations with RegisterLanguage.
+	Language = langs.Language
+)
+
+// Languages returns every registered language, sorted by short name.
+func Languages() []Language { return langs.All() }
+
+// LanguageByName resolves a language short name ("joda", "mongodb", "jq",
+// "postgres", or a registered custom one).
+func LanguageByName(short string) (Language, error) { return langs.ByShortName(short) }
+
+// RegisterLanguage adds a custom language to the registry.
+func RegisterLanguage(l Language) { langs.Register(l) }
+
+// Script renders a whole session as one executable file in the language.
+func Script(l Language, queries []*Query) string { return langs.Script(l, queries) }
+
+// Engines (the systems under test).
+type (
+	// Engine executes imported datasets and generated queries.
+	Engine = engine.Engine
+	// ImportStats describes one dataset import.
+	ImportStats = engine.ImportStats
+	// ExecStats describes one query execution.
+	ExecStats = engine.ExecStats
+	// JODAOptions configures the JODA stand-in.
+	JODAOptions = jodasim.Options
+	// MongoOptions configures the MongoDB stand-in.
+	MongoOptions = mongosim.Options
+	// PostgresOptions configures the PostgreSQL stand-in.
+	PostgresOptions = pgsim.Options
+)
+
+// NewJODA returns the JODA stand-in: parallel, in-memory, result-caching.
+// It doubles as the recommended generation Backend.
+func NewJODA(opts JODAOptions) *jodasim.Engine { return jodasim.New(opts) }
+
+// NewMongoDB returns the MongoDB stand-in: BSON storage in compressed
+// blocks, lazy path navigation, single-threaded.
+func NewMongoDB(opts MongoOptions) *mongosim.Engine { return mongosim.New(opts) }
+
+// NewPostgreSQL returns the PostgreSQL stand-in: JSONB rows with TOAST-style
+// compression, whole-document decode per evaluation, single-threaded.
+func NewPostgreSQL(opts PostgresOptions) *pgsim.Engine { return pgsim.New(opts) }
+
+// NewJQ returns the jq stand-in: no import, per-query re-parse of the
+// dataset file. Derived datasets are materialised under workdir ("" for a
+// temporary directory).
+func NewJQ(workdir string) (*jqsim.Engine, error) { return jqsim.New(workdir) }
+
+// Dataset generators (§VI).
+type (
+	// DatasetSource is a seeded synthetic document generator.
+	DatasetSource = datasets.Source
+	// RedditOptions configures the Reddit-comments generator.
+	RedditOptions = datasets.RedditOptions
+)
+
+// TwitterSource generates the heterogeneous, deeply nested Twitter-like
+// stream of the paper's evaluation.
+func TwitterSource() DatasetSource { return datasets.NewTwitter() }
+
+// NoBenchSource generates the NoBench dataset of Chasseur et al.
+func NoBenchSource() DatasetSource { return datasets.NewNoBench() }
+
+// RedditSource generates the flat fixed-schema Reddit-comments dataset.
+func RedditSource(opts RedditOptions) DatasetSource { return datasets.NewReddit(opts) }
+
+// JSON value model.
+type (
+	// Value is a typed JSON value.
+	Value = jsonval.Value
+	// Path addresses a nested attribute ("/user/name").
+	Path = jsonval.Path
+)
+
+// ParseJSON decodes one JSON document.
+func ParseJSON(data []byte) (Value, error) { return jsonval.Parse(data) }
+
+// ParsePath normalises a slash-separated attribute path.
+func ParsePath(s string) Path { return jsonval.ParsePath(s) }

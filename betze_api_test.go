@@ -1,0 +1,114 @@
+package betze_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	docs := betze.TwitterSource().Generate(1500, 3)
+	stats := betze.AnalyzeValues("Twitter", docs, betze.AnalyzeOptions{})
+	if stats.DocCount != 1500 {
+		t.Fatalf("DocCount = %d", stats.DocCount)
+	}
+
+	backend := betze.NewJODA(betze.JODAOptions{})
+	backend.ImportValues("Twitter", docs)
+	defer backend.Close()
+
+	session, err := betze.Generate(betze.Options{Preset: betze.Expert, Seed: 9, Backend: backend}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(session.Queries) != betze.Expert.Queries {
+		t.Fatalf("queries = %d", len(session.Queries))
+	}
+
+	if got := len(betze.Languages()); got < 4 {
+		t.Fatalf("languages = %d", got)
+	}
+	for _, l := range betze.Languages() {
+		script := betze.Script(l, session.Queries)
+		if !strings.Contains(script, "Twitter") {
+			t.Errorf("%s script does not reference the dataset", l.ShortName())
+		}
+	}
+
+	// Execute on the facade-constructed engines; counts must agree.
+	var want int64 = -1
+	mongo := betze.NewMongoDB(betze.MongoOptions{})
+	mongo.ImportValues("Twitter", docs)
+	defer mongo.Close()
+	pg := betze.NewPostgreSQL(betze.PostgresOptions{})
+	if err := pg.ImportValues("Twitter", docs); err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	for _, eng := range []betze.Engine{backend, mongo, pg} {
+		var total int64
+		for _, q := range session.Queries {
+			res, err := eng.Execute(context.Background(), q, io.Discard)
+			if err != nil {
+				t.Fatalf("%s: %v", eng.Name(), err)
+			}
+			total += res.Matched
+		}
+		if want == -1 {
+			want = total
+		} else if total != want {
+			t.Errorf("%s matched %d total, want %d", eng.Name(), total, want)
+		}
+	}
+}
+
+func TestFacadeAnalyzeReaderAndStatsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := betze.NoBenchSource().WriteTo(&buf, 300, 5); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := betze.AnalyzeReader("nb", &buf, betze.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if _, err := stats.WriteTo(&file); err != nil {
+		t.Fatal(err)
+	}
+	back, err := betze.ReadStats(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DocCount != stats.DocCount || len(back.Paths) != len(stats.Paths) {
+		t.Errorf("stats round trip lost data")
+	}
+	// The reloaded stats must be directly usable for generation.
+	if _, err := betze.Generate(betze.Options{Seed: 4}, back); err != nil {
+		t.Errorf("generation from reloaded stats: %v", err)
+	}
+}
+
+func TestFacadeParseHelpers(t *testing.T) {
+	v, err := betze.ParseJSON([]byte(`{"a":{"b":7}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := betze.ParsePath("/a/b").Lookup(v)
+	if !ok || got.Int() != 7 {
+		t.Errorf("lookup = %v, %v", got, ok)
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	if len(betze.Presets()) != 3 {
+		t.Fatalf("presets = %d", len(betze.Presets()))
+	}
+	p, err := betze.PresetByName("novice")
+	if err != nil || p.Alpha != 0.5 {
+		t.Errorf("PresetByName: %+v, %v", p, err)
+	}
+}

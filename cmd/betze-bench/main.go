@@ -1,0 +1,91 @@
+// Command betze-bench regenerates every table and figure of the paper's
+// evaluation (§VI) at a configurable scale. Run it without flags for a
+// laptop-sized pass over all experiments, or select one with -exp.
+//
+//	betze-bench -exp fig10 -nobench-sweep 1000,10000,100000,1000000
+//	betze-bench -exp all -twitter-docs 50000 -sessions 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/joda-explore/betze/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "betze-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var cfg harness.Config
+	exp := flag.String("exp", "all", "experiment id (table1, fig5..fig10, table2..table4, gencost, skew) or 'all'")
+	flag.StringVar(&cfg.Dir, "dir", "", "working directory for dataset files (default: temp)")
+	flag.IntVar(&cfg.TwitterDocs, "twitter-docs", 0, "Twitter-like dataset size (default 8000; paper 29.6M)")
+	flag.IntVar(&cfg.NoBenchDocs, "nobench-docs", 0, "NoBench dataset size (default 20000; paper 10M)")
+	flag.IntVar(&cfg.RedditDocs, "reddit-docs", 0, "Reddit dataset size (default 20000; paper 53.9M)")
+	flag.IntVar(&cfg.Sessions, "sessions", 0, "sessions per configuration (default 10; paper 30)")
+	flag.IntVar(&cfg.GridSessions, "grid-sessions", 0, "sessions per alpha/beta cell (default 3; paper 20)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per-session timeout (default 2m; paper 2h/8h)")
+	flag.Int64Var(&cfg.Seed, "seed", 0, "base seed (default 123)")
+	sweep := flag.String("nobench-sweep", "", "comma-separated document counts for fig10")
+	threads := flag.String("threads", "", "comma-separated thread counts for fig9")
+	flag.Parse()
+
+	var err error
+	if cfg.NoBenchSweep, err = parseInts(*sweep); err != nil {
+		return fmt.Errorf("-nobench-sweep: %w", err)
+	}
+	if cfg.Threads, err = parseInts(*threads); err != nil {
+		return fmt.Errorf("-threads: %w", err)
+	}
+
+	env, err := harness.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	experiments := harness.Experiments()
+	if *exp != "all" {
+		e, err := harness.ByID(*exp)
+		if err != nil {
+			return err
+		}
+		experiments = []harness.Experiment{e}
+	}
+	for _, e := range experiments {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		out, err := e.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1000, 10000,100000")
+	if err != nil || !reflect.DeepEqual(got, []int{1000, 10000, 100000}) {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	if _, err := parseInts("12,abc"); err == nil {
+		t.Errorf("malformed spec accepted")
+	}
+}

@@ -1,0 +1,28 @@
+// Command betze-web serves the BETZE web interface (Fig. 4 of the paper):
+// a configuration page where a dataset and the generator settings are
+// chosen, and a session view that shows the dataset dependency graph, every
+// generated query, and downloads of the session in all supported query
+// languages.
+//
+//	betze-web -addr :8080
+//	# open http://localhost:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Parse()
+	srv := newServer()
+	fmt.Printf("BETZE web interface listening on http://%s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,77 @@
+package betze_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze"
+)
+
+// ExampleGenerate shows the minimal analyze→generate pipeline: synthesise a
+// dataset, summarise it, and produce a reproducible expert session.
+func ExampleGenerate() {
+	docs := betze.NoBenchSource().Generate(2000, 1)
+	stats := betze.AnalyzeValues("NoBench", docs, betze.AnalyzeOptions{})
+
+	backend := betze.NewJODA(betze.JODAOptions{})
+	backend.ImportValues("NoBench", docs)
+	defer backend.Close()
+
+	session, err := betze.Generate(betze.Options{
+		Preset:  betze.Expert,
+		Seed:    123,
+		Backend: backend,
+	}, stats)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("queries:", len(session.Queries))
+	fmt.Println("preset:", session.Preset.Name)
+	// Output:
+	// queries: 5
+	// preset: expert
+}
+
+// ExampleScript renders one query in every supported language.
+func ExampleScript() {
+	q := &betze.Query{
+		ID:     "q1",
+		Base:   "Twitter",
+		Filter: mustPredicate(),
+	}
+	for _, lang := range betze.Languages() {
+		script := betze.Script(lang, []*betze.Query{q})
+		fmt.Println(lang.ShortName(), "->", strings.Contains(script, "Twitter"))
+	}
+	// Output:
+	// joda -> true
+	// jq -> true
+	// mongodb -> true
+	// postgres -> true
+}
+
+func mustPredicate() betze.Predicate {
+	// The query package types are re-exported through the facade; a
+	// filter can also be built by the generator instead of by hand.
+	return existsUser{}
+}
+
+// existsUser demonstrates that Predicate is an open interface: any Eval +
+// String pair works, though generator-produced predicates are the norm.
+type existsUser struct{}
+
+func (existsUser) Eval(doc betze.Value) bool {
+	_, ok := betze.ParsePath("/user").Lookup(doc)
+	return ok
+}
+
+func (existsUser) String() string { return "EXISTS('/user')" }
+
+// ExamplePresetByName resolves Table I presets by name.
+func ExamplePresetByName() {
+	p, _ := betze.PresetByName("novice")
+	fmt.Printf("%s: alpha=%.1f beta=%.1f n=%d\n", p.Name, p.Alpha, p.Beta, p.Queries)
+	// Output:
+	// novice: alpha=0.5 beta=0.3 n=20
+}

@@ -1,0 +1,106 @@
+// Multi-user evaluation: §III of the paper notes that "to evaluate
+// multi-user systems, we could generate multiple sessions and execute them
+// simultaneously. Using different configurations for different sessions is
+// also possible." This example generates one session per simulated user —
+// a mix of novices, intermediates and experts — and executes them
+// concurrently against a single shared JODA engine, reporting per-user and
+// aggregate throughput.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "betze-multiuser-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	dataFile := filepath.Join(dir, "reddit.json")
+	if err := betze.RedditSource(betze.RedditOptions{NullByteFraction: -1}).WriteFile(dataFile, 10000, 3); err != nil {
+		return err
+	}
+	stats, err := betze.AnalyzeFile("Reddit", dataFile, betze.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+	backend := betze.NewJODA(betze.JODAOptions{})
+	ctx := context.Background()
+	if _, err := backend.ImportFile(ctx, "Reddit", dataFile); err != nil {
+		return err
+	}
+	defer backend.Close()
+
+	// One session per user, with a population of mixed skill levels.
+	users := []betze.Preset{
+		betze.Novice, betze.Novice,
+		betze.Intermediate, betze.Intermediate, betze.Intermediate,
+		betze.Expert, betze.Expert, betze.Expert,
+	}
+	sessions := make([]*betze.Session, len(users))
+	for i, preset := range users {
+		s, err := betze.Generate(betze.Options{Preset: preset, Seed: int64(100 + i), Backend: backend}, stats)
+		if err != nil {
+			return err
+		}
+		sessions[i] = s
+	}
+
+	// The shared system under test.
+	eng := betze.NewJODA(betze.JODAOptions{})
+	defer eng.Close()
+	if _, err := eng.ImportFile(ctx, "Reddit", dataFile); err != nil {
+		return err
+	}
+
+	type userResult struct {
+		queries int
+		took    time.Duration
+	}
+	results := make([]userResult, len(users))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *betze.Session) {
+			defer wg.Done()
+			userStart := time.Now()
+			for _, q := range s.Queries {
+				if _, err := eng.Execute(ctx, q, io.Discard); err != nil {
+					log.Printf("user %d: %v", i, err)
+					return
+				}
+			}
+			results[i] = userResult{queries: len(s.Queries), took: time.Since(userStart)}
+		}(i, s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	totalQueries := 0
+	for i, r := range results {
+		fmt.Printf("user %d (%-12s): %2d queries in %8v\n", i, users[i].Name, r.queries, r.took.Round(time.Millisecond))
+		totalQueries += r.queries
+	}
+	fmt.Printf("\n%d concurrent users, %d queries, wall time %v (%.0f queries/s)\n",
+		len(users), totalQueries, wall.Round(time.Millisecond),
+		float64(totalQueries)/wall.Seconds())
+	return nil
+}

@@ -1,0 +1,83 @@
+// Quickstart: analyze a dataset, generate one exploration session, print it
+// in all four query languages, and execute it on the JODA engine — the
+// whole BETZE pipeline in one file.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/joda-explore/betze"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "betze-quickstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A dataset. Normally this is your own newline-delimited JSON file;
+	// here we synthesise a small Twitter-like stream.
+	dataFile := filepath.Join(dir, "twitter.json")
+	if err := betze.TwitterSource().WriteFile(dataFile, 5000, 42); err != nil {
+		return err
+	}
+	fmt.Println("dataset:", dataFile)
+
+	// 2. Analyze it into a statistical summary (§IV-A of the paper).
+	stats, err := betze.AnalyzeFile("Twitter", dataFile, betze.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d documents, %d distinct attribute paths\n\n",
+		stats.DocCount, len(stats.Paths))
+
+	// 3. Generate a session. The backend verifies each query's selectivity
+	// against the actual data (recommended); the seed makes the session
+	// reproducible.
+	backend := betze.NewJODA(betze.JODAOptions{})
+	if _, err := backend.ImportFile(context.Background(), "Twitter", dataFile); err != nil {
+		return err
+	}
+	defer backend.Close()
+	session, err := betze.Generate(betze.Options{
+		Preset:  betze.Expert,
+		Seed:    123,
+		Backend: backend,
+	}, stats)
+	if err != nil {
+		return err
+	}
+
+	// 4. Translate the session into every supported system's syntax.
+	for _, lang := range betze.Languages() {
+		fmt.Printf("--- %s ---\n%s\n", lang.Name(), betze.Script(lang, session.Queries))
+	}
+
+	// 5. Execute it on an engine and report per-query times.
+	eng := betze.NewJODA(betze.JODAOptions{})
+	defer eng.Close()
+	if _, err := eng.ImportFile(context.Background(), "Twitter", dataFile); err != nil {
+		return err
+	}
+	fmt.Println("--- execution on JODA ---")
+	for _, q := range session.Queries {
+		res, err := eng.Execute(context.Background(), q, io.Discard)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %8v  scanned %6d, matched %6d\n", q.ID, res.Duration.Round(10_000), res.Scanned, res.Matched)
+	}
+	return nil
+}

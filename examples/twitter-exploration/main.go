@@ -1,0 +1,104 @@
+// Twitter exploration: the paper's motivating scenario. Alice, a data
+// scientist, explores a raw Twitter stream. We simulate her at three skill
+// levels (novice, intermediate, expert) and benchmark the resulting
+// exploratory workloads across all four engines, reproducing the shape of
+// the paper's system comparison on a laptop-sized sample.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"github.com/joda-explore/betze"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "betze-twitter-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	dataFile := filepath.Join(dir, "twitter.json")
+	const docs = 8000
+	fmt.Printf("synthesising %d raw Twitter-stream documents...\n", docs)
+	if err := betze.TwitterSource().WriteFile(dataFile, docs, 7); err != nil {
+		return err
+	}
+	stats, err := betze.AnalyzeFile("Twitter", dataFile, betze.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+
+	backend := betze.NewJODA(betze.JODAOptions{})
+	if _, err := backend.ImportFile(context.Background(), "Twitter", dataFile); err != nil {
+		return err
+	}
+	defer backend.Close()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\npreset\tqueries\tJODA\tMongoDB\tPostgreSQL\tjq")
+	for _, preset := range betze.Presets() {
+		session, err := betze.Generate(betze.Options{
+			Preset:  preset,
+			Seed:    1,
+			Backend: backend,
+		}, stats)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d", preset.Name, len(session.Queries))
+		for _, mk := range []func() (betze.Engine, error){
+			func() (betze.Engine, error) { return betze.NewJODA(betze.JODAOptions{}), nil },
+			func() (betze.Engine, error) { return betze.NewMongoDB(betze.MongoOptions{}), nil },
+			func() (betze.Engine, error) { return betze.NewPostgreSQL(betze.PostgresOptions{}), nil },
+			func() (betze.Engine, error) { return betze.NewJQ(dir) },
+		} {
+			eng, err := mk()
+			if err != nil {
+				return err
+			}
+			total, err := benchmark(eng, dataFile, session)
+			eng.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%v", total.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\n(per-session execution time without import; lower is better)")
+	fmt.Println("Note how the novice's backtracking-heavy session costs every engine")
+	fmt.Println("the most, and how only the parallel, caching JODA engine keeps")
+	fmt.Println("exploratory latencies interactive — the paper's Table III shape.")
+	return nil
+}
+
+func benchmark(eng betze.Engine, dataFile string, session *betze.Session) (time.Duration, error) {
+	ctx := context.Background()
+	if _, err := eng.ImportFile(ctx, "Twitter", dataFile); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, q := range session.Queries {
+		res, err := eng.Execute(ctx, q, io.Discard)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Duration
+	}
+	return total, nil
+}

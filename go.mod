@@ -1,0 +1,3 @@
+module github.com/joda-explore/betze
+
+go 1.22

@@ -1,0 +1,232 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonstats"
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func genDocs(t *testing.T, n int, seed int64) ([]jsonval.Value, []byte) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]jsonval.Value, n)
+	var raw []byte
+	for i := range docs {
+		members := []jsonval.Member{
+			{Key: "id", Value: jsonval.IntValue(int64(i))},
+			{Key: "score", Value: jsonval.FloatValue(r.Float64() * 100)},
+			// Distinct-value count stays under jsonstats.DefaultMaxValues:
+			// overflow sampling is legitimately shard-order-dependent.
+			{Key: "name", Value: jsonval.StringValue(fmt.Sprintf("user_%03d", r.Intn(30)))},
+		}
+		if r.Intn(3) == 0 {
+			members = append(members, jsonval.Member{Key: "meta", Value: jsonval.ObjectValue(
+				jsonval.Member{Key: "verified", Value: jsonval.BoolValue(r.Intn(2) == 0)},
+				jsonval.Member{Key: "tags", Value: jsonval.ArrayValue(jsonval.StringValue("a"), jsonval.StringValue("b"))},
+			)})
+		}
+		docs[i] = jsonval.ObjectValue(members...)
+		raw = jsonval.AppendJSON(raw, docs[i])
+		raw = append(raw, '\n')
+	}
+	return docs, raw
+}
+
+func TestValuesSequentialVsParallel(t *testing.T) {
+	docs, _ := genDocs(t, 500, 1)
+	seq := Values("d", docs, Options{Workers: 1})
+	par := Values("d", docs, Options{Workers: 8})
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	compareDatasets(t, seq, par)
+}
+
+func TestReaderSequentialVsParallel(t *testing.T) {
+	docs, raw := genDocs(t, 500, 2)
+	fromValues := Values("d", docs, Options{Workers: 1})
+	seq, err := Reader("d", bytes.NewReader(raw), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Reader("d", bytes.NewReader(raw), Options{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDatasets(t, fromValues, seq)
+	compareDatasets(t, fromValues, par)
+}
+
+func TestReaderHandlesConcatenatedDocs(t *testing.T) {
+	// No newlines between documents at all.
+	raw := []byte(`{"a":1}{"a":2}{"b":"x"}`)
+	for _, workers := range []int{1, 4} {
+		d, err := Reader("d", bytes.NewReader(raw), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d.DocCount != 3 {
+			t.Errorf("workers=%d: DocCount = %d", workers, d.DocCount)
+		}
+		if d.Paths[jsonval.Path("/a")].Count != 2 {
+			t.Errorf("workers=%d: /a count = %d", workers, d.Paths[jsonval.Path("/a")].Count)
+		}
+	}
+}
+
+func TestReaderPropagatesSyntaxErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Reader("d", strings.NewReader(`{"a":1}{"broken`), Options{Workers: workers})
+		if err == nil {
+			t.Errorf("workers=%d: malformed stream accepted", workers)
+		}
+	}
+}
+
+func TestReaderEmptyStream(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		d, err := Reader("d", strings.NewReader(""), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d.DocCount != 0 {
+			t.Errorf("workers=%d: DocCount = %d", workers, d.DocCount)
+		}
+	}
+}
+
+func TestFile(t *testing.T) {
+	_, raw := genDocs(t, 100, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := File("mydata", path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "mydata" || d.DocCount != 100 {
+		t.Errorf("name=%q count=%d", d.Name, d.DocCount)
+	}
+	if _, err := File("x", filepath.Join(dir, "missing.json"), Options{}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestFileDefaultsName(t *testing.T) {
+	_, raw := genDocs(t, 5, 4)
+	path := filepath.Join(t.TempDir(), "twitter.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := File("", path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(d.Name, "twitter.json") {
+		t.Errorf("default name = %q", d.Name)
+	}
+}
+
+func TestStatsConfigPropagates(t *testing.T) {
+	docs, _ := genDocs(t, 50, 5)
+	cfg := jsonstats.Config{PrefixLen: 2, MaxPrefixes: 4, MaxValues: 3}
+	d := Values("d", docs, Options{Stats: cfg, Workers: 4})
+	want := cfg
+	want.HistogramBuckets = jsonstats.DefaultHistogramBuckets // zero value defaults
+	if d.Config() != want {
+		t.Errorf("config = %+v, want %+v", d.Config(), want)
+	}
+	st := d.Paths[jsonval.Path("/name")].Str
+	if st == nil || len(st.Prefixes) > 4 || len(st.Values) > 3 {
+		t.Errorf("caps not applied: %+v", st)
+	}
+	for pre := range st.Prefixes {
+		if len(pre) > 2 {
+			t.Errorf("prefix %q longer than configured", pre)
+		}
+	}
+}
+
+func compareDatasets(t *testing.T, want, got *jsonstats.Dataset) {
+	t.Helper()
+	if want.DocCount != got.DocCount {
+		t.Fatalf("DocCount %d != %d", got.DocCount, want.DocCount)
+	}
+	if len(want.Paths) != len(got.Paths) {
+		t.Fatalf("paths %d != %d", len(got.Paths), len(want.Paths))
+	}
+	for p, wps := range want.Paths {
+		gps := got.Paths[p]
+		if gps == nil {
+			t.Fatalf("missing path %s", p)
+		}
+		// Merge order may differ, but all exact aggregates must agree.
+		// String caps can differ between shard splits only if overflow
+		// occurred (the test data stays under the default caps), and
+		// histograms are rebinned on merge, so only their totals are
+		// exact.
+		wc, gc := *wps, *gps
+		wc.NumHist, gc.NumHist = nil, nil
+		if !reflect.DeepEqual(&wc, &gc) {
+			t.Fatalf("path %s differs:\n got %+v str=%+v\nwant %+v str=%+v", p, gps, gps.Str, wps, wps.Str)
+		}
+		if (wps.NumHist == nil) != (gps.NumHist == nil) {
+			t.Fatalf("path %s: histogram presence differs", p)
+		}
+		if wps.NumHist != nil && wps.NumHist.Total != gps.NumHist.Total {
+			t.Fatalf("path %s: histogram totals %d != %d", p, gps.NumHist.Total, wps.NumHist.Total)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	docs, raw := genDocs(t, 2000, 9)
+	full := Values("d", docs, Options{Workers: 1})
+	for _, workers := range []int{1, 4} {
+		sampled, err := Reader("d", bytes.NewReader(raw), Options{Workers: workers, SampleEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sampled.DocCount != 500 {
+			t.Fatalf("workers=%d: sampled DocCount = %d, want 500", workers, sampled.DocCount)
+		}
+		// Ratios (what selectivity targeting uses) must approximate the
+		// full analysis.
+		for _, p := range []string{"/id", "/score", "/name", "/meta"} {
+			fp, sp := full.Paths[jsonval.Path(p)], sampled.Paths[jsonval.Path(p)]
+			if fp == nil {
+				continue
+			}
+			if sp == nil {
+				t.Fatalf("workers=%d: sampling lost path %s", workers, p)
+			}
+			fullRatio := float64(fp.Count) / float64(full.DocCount)
+			sampleRatio := float64(sp.Count) / float64(sampled.DocCount)
+			if diff := fullRatio - sampleRatio; diff < -0.08 || diff > 0.08 {
+				t.Errorf("workers=%d: path %s ratio %f vs sampled %f", workers, p, fullRatio, sampleRatio)
+			}
+		}
+	}
+	// Values path too.
+	sv := Values("d", docs, Options{Workers: 3, SampleEvery: 10})
+	if sv.DocCount != 200 {
+		t.Errorf("sampled Values DocCount = %d, want 200", sv.DocCount)
+	}
+	// A sampled summary still feeds the generator.
+	if err := sv.Validate(); err != nil {
+		t.Errorf("sampled summary invalid: %v", err)
+	}
+}

@@ -1,0 +1,419 @@
+// Package bsonlite implements a BSON-style binary document format: a
+// length-prefixed sequence of type-tagged, name-prefixed elements, with
+// arrays encoded as documents keyed "0", "1", …. It is the storage format of
+// the MongoDB stand-in engine (internal/engine/mongosim).
+//
+// The format intentionally mirrors real BSON's access characteristics:
+// a path lookup walks element headers and skips values by their encoded
+// length without materialising the document, while full decoding builds the
+// complete value tree.
+package bsonlite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// Element type tags, matching BSON's where possible.
+const (
+	tagDouble = 0x01
+	tagString = 0x02
+	tagDoc    = 0x03
+	tagArray  = 0x04
+	tagBool   = 0x08
+	tagNull   = 0x0A
+	tagInt64  = 0x12
+)
+
+// CorruptError reports a structurally invalid document.
+type CorruptError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("bsonlite: corrupt document at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Encode appends the binary encoding of doc to dst. Any JSON value is
+// encodable; non-object roots are wrapped as single-element documents with
+// an empty key, like the MongoDB shell does.
+func Encode(dst []byte, doc jsonval.Value) []byte {
+	if doc.Kind() == jsonval.Object {
+		return encodeDoc(dst, doc.Members())
+	}
+	return encodeDoc(dst, []jsonval.Member{{Key: "", Value: doc}})
+}
+
+func encodeDoc(dst []byte, members []jsonval.Member) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	for _, m := range members {
+		dst = encodeElement(dst, m.Key, m.Value)
+	}
+	dst = append(dst, 0) // terminator
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst
+}
+
+func encodeArray(dst []byte, elems []jsonval.Value) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	for i, e := range elems {
+		dst = encodeElement(dst, strconv.Itoa(i), e)
+	}
+	dst = append(dst, 0)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst
+}
+
+func encodeElement(dst []byte, key string, v jsonval.Value) []byte {
+	switch v.Kind() {
+	case jsonval.Null:
+		dst = append(dst, tagNull)
+		dst = appendCString(dst, key)
+	case jsonval.Bool:
+		dst = append(dst, tagBool)
+		dst = appendCString(dst, key)
+		if v.Bool() {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case jsonval.Int:
+		dst = append(dst, tagInt64)
+		dst = appendCString(dst, key)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Int()))
+	case jsonval.Float:
+		dst = append(dst, tagDouble)
+		dst = appendCString(dst, key)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+	case jsonval.String:
+		dst = append(dst, tagString)
+		dst = appendCString(dst, key)
+		s := v.Str()
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)+1))
+		dst = append(dst, s...)
+		dst = append(dst, 0)
+	case jsonval.Object:
+		dst = append(dst, tagDoc)
+		dst = appendCString(dst, key)
+		dst = encodeDoc(dst, v.Members())
+	case jsonval.Array:
+		dst = append(dst, tagArray)
+		dst = appendCString(dst, key)
+		dst = encodeArray(dst, v.Array())
+	}
+	return dst
+}
+
+// appendCString appends a NUL-terminated key. Embedded NUL bytes in keys are
+// not representable (as in real BSON) and are replaced.
+func appendCString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			dst = append(dst, 0xEF, 0xBF, 0xBD) // U+FFFD
+			continue
+		}
+		dst = append(dst, s[i])
+	}
+	return append(dst, 0)
+}
+
+// Decode materialises a full document.
+func Decode(data []byte) (jsonval.Value, error) {
+	v, n, err := decodeDoc(data, 0, false)
+	if err != nil {
+		return jsonval.Value{}, err
+	}
+	if n != len(data) {
+		return jsonval.Value{}, &CorruptError{Offset: n, Msg: "trailing bytes"}
+	}
+	// Unwrap the single-element empty-key wrapper for non-object roots.
+	if v.Kind() == jsonval.Object {
+		if m := v.Members(); len(m) == 1 && m[0].Key == "" {
+			return m[0].Value, nil
+		}
+	}
+	return v, nil
+}
+
+func decodeDoc(data []byte, off int, asArray bool) (jsonval.Value, int, error) {
+	if off+5 > len(data) {
+		return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated document header"}
+	}
+	total := int(binary.LittleEndian.Uint32(data[off:]))
+	end := off + total
+	if total < 5 || end > len(data) {
+		return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "document length out of bounds"}
+	}
+	var members []jsonval.Member
+	var elems []jsonval.Value
+	i := off + 4
+	for {
+		if i >= end {
+			return jsonval.Value{}, 0, &CorruptError{Offset: i, Msg: "missing terminator"}
+		}
+		tag := data[i]
+		if tag == 0 {
+			if i != end-1 {
+				return jsonval.Value{}, 0, &CorruptError{Offset: i, Msg: "terminator before document end"}
+			}
+			break
+		}
+		i++
+		key, n, err := readCString(data, i)
+		if err != nil {
+			return jsonval.Value{}, 0, err
+		}
+		i += n
+		v, n, err := decodeValue(data, i, tag)
+		if err != nil {
+			return jsonval.Value{}, 0, err
+		}
+		i = n
+		if asArray {
+			elems = append(elems, v)
+		} else {
+			members = append(members, jsonval.Member{Key: key, Value: v})
+		}
+	}
+	if asArray {
+		return jsonval.ArrayValue(elems...), end, nil
+	}
+	return jsonval.ObjectValue(members...), end, nil
+}
+
+// decodeValue decodes the value of an element whose tag and key were read;
+// it returns the offset after the value.
+func decodeValue(data []byte, off int, tag byte) (jsonval.Value, int, error) {
+	switch tag {
+	case tagNull:
+		return jsonval.NullValue(), off, nil
+	case tagBool:
+		if off+1 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated bool"}
+		}
+		return jsonval.BoolValue(data[off] != 0), off + 1, nil
+	case tagInt64:
+		if off+8 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated int64"}
+		}
+		return jsonval.IntValue(int64(binary.LittleEndian.Uint64(data[off:]))), off + 8, nil
+	case tagDouble:
+		if off+8 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated double"}
+		}
+		return jsonval.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))), off + 8, nil
+	case tagString:
+		if off+4 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated string header"}
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n < 1 || off+n > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "string length out of bounds"}
+		}
+		return jsonval.StringValue(string(data[off : off+n-1])), off + n, nil
+	case tagDoc:
+		return decodeDoc(data, off, false)
+	case tagArray:
+		return decodeDoc(data, off, true)
+	default:
+		return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: fmt.Sprintf("unknown tag 0x%02x", tag)}
+	}
+}
+
+func readCString(data []byte, off int) (string, int, error) {
+	for i := off; i < len(data); i++ {
+		if data[i] == 0 {
+			return string(data[off:i]), i - off + 1, nil
+		}
+	}
+	return "", 0, &CorruptError{Offset: off, Msg: "unterminated key"}
+}
+
+// skipValue returns the offset just past a value, without materialising it.
+func skipValue(data []byte, off int, tag byte) (int, error) {
+	switch tag {
+	case tagNull:
+		return off, nil
+	case tagBool:
+		return off + 1, nil
+	case tagInt64, tagDouble:
+		return off + 8, nil
+	case tagString:
+		if off+4 > len(data) {
+			return 0, &CorruptError{Offset: off, Msg: "truncated string header"}
+		}
+		return off + 4 + int(binary.LittleEndian.Uint32(data[off:])), nil
+	case tagDoc, tagArray:
+		if off+4 > len(data) {
+			return 0, &CorruptError{Offset: off, Msg: "truncated document header"}
+		}
+		return off + int(binary.LittleEndian.Uint32(data[off:])), nil
+	default:
+		return 0, &CorruptError{Offset: off, Msg: fmt.Sprintf("unknown tag 0x%02x", tag)}
+	}
+}
+
+// Raw is an undecoded value inside a document: its tag and the byte range of
+// its payload.
+type Raw struct {
+	Tag  byte
+	data []byte
+	off  int
+}
+
+// Lookup walks the document along path without materialising values,
+// mirroring how MongoDB navigates BSON. It returns ok=false when any segment
+// is missing or traverses a non-document.
+func Lookup(doc []byte, path jsonval.Path) (Raw, bool, error) {
+	segs := path.Segments()
+	off := 0
+	data := doc
+	cur := Raw{Tag: tagDoc, data: doc, off: 0}
+	if len(segs) == 0 {
+		return cur, true, nil
+	}
+	for _, seg := range segs {
+		if cur.Tag != tagDoc {
+			return Raw{}, false, nil
+		}
+		found := false
+		if off+5 > len(data) {
+			return Raw{}, false, &CorruptError{Offset: off, Msg: "truncated document header"}
+		}
+		end := off + int(binary.LittleEndian.Uint32(data[off:]))
+		if end > len(data) {
+			return Raw{}, false, &CorruptError{Offset: off, Msg: "document length out of bounds"}
+		}
+		i := off + 4
+		for i < end && data[i] != 0 {
+			tag := data[i]
+			i++
+			key, n, err := readCString(data, i)
+			if err != nil {
+				return Raw{}, false, err
+			}
+			i += n
+			if key == seg {
+				cur = Raw{Tag: tag, data: data, off: i}
+				off = i
+				found = true
+				break
+			}
+			i, err = skipValue(data, i, tag)
+			if err != nil {
+				return Raw{}, false, err
+			}
+		}
+		if !found {
+			return Raw{}, false, nil
+		}
+	}
+	return cur, true, nil
+}
+
+// Kind maps the raw tag to the JSON kind.
+func (r Raw) Kind() jsonval.Kind {
+	switch r.Tag {
+	case tagNull:
+		return jsonval.Null
+	case tagBool:
+		return jsonval.Bool
+	case tagInt64:
+		return jsonval.Int
+	case tagDouble:
+		return jsonval.Float
+	case tagString:
+		return jsonval.String
+	case tagDoc:
+		return jsonval.Object
+	case tagArray:
+		return jsonval.Array
+	default:
+		return jsonval.Null
+	}
+}
+
+// Number returns the numeric payload of an int64 or double value.
+func (r Raw) Number() (float64, bool) {
+	switch r.Tag {
+	case tagInt64:
+		if r.off+8 > len(r.data) {
+			return 0, false
+		}
+		return float64(int64(binary.LittleEndian.Uint64(r.data[r.off:]))), true
+	case tagDouble:
+		if r.off+8 > len(r.data) {
+			return 0, false
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:])), true
+	default:
+		return 0, false
+	}
+}
+
+// Bool returns the boolean payload.
+func (r Raw) Bool() (bool, bool) {
+	if r.Tag != tagBool || r.off >= len(r.data) {
+		return false, false
+	}
+	return r.data[r.off] != 0, true
+}
+
+// Str returns the string payload without copying.
+func (r Raw) Str() (string, bool) {
+	if r.Tag != tagString || r.off+4 > len(r.data) {
+		return "", false
+	}
+	n := int(binary.LittleEndian.Uint32(r.data[r.off:]))
+	start := r.off + 4
+	if n < 1 || start+n > len(r.data) {
+		return "", false
+	}
+	return string(r.data[start : start+n-1]), true
+}
+
+// Len counts the elements of a document or array value by walking headers.
+func (r Raw) Len() (int, bool) {
+	if r.Tag != tagDoc && r.Tag != tagArray {
+		return 0, false
+	}
+	data, off := r.data, r.off
+	if off+5 > len(data) {
+		return 0, false
+	}
+	end := off + int(binary.LittleEndian.Uint32(data[off:]))
+	if end > len(data) {
+		return 0, false
+	}
+	i := off + 4
+	count := 0
+	for i < end && data[i] != 0 {
+		tag := data[i]
+		i++
+		_, n, err := readCString(data, i)
+		if err != nil {
+			return 0, false
+		}
+		i += n
+		i, err = skipValue(data, i, tag)
+		if err != nil {
+			return 0, false
+		}
+		count++
+	}
+	return count, true
+}
+
+// Value materialises the raw value.
+func (r Raw) Value() (jsonval.Value, error) {
+	v, _, err := decodeValue(r.data, r.off, r.Tag)
+	return v, err
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Backend is what the generator needs from a data processor to verify the
+// selectivity of generated queries (§IV-B: "The generator will then execute
+// each generated query in the data processor and calculate the actual
+// selectivity"). The paper uses JODA; internal/engine/jodasim implements
+// this interface, and any engine can serve.
+type Backend interface {
+	// CountMatching returns the number of documents of the named base
+	// dataset that satisfy pred; a nil predicate counts all documents.
+	CountMatching(base string, pred query.Predicate) (int64, error)
+}
+
+// SliceBackend is a trivial Backend over in-memory document slices, useful
+// for tests and for generating against small samples without an engine.
+type SliceBackend map[string][]jsonval.Value
+
+// CountMatching implements Backend by scanning the slice.
+func (b SliceBackend) CountMatching(base string, pred query.Predicate) (int64, error) {
+	docs, ok := b[base]
+	if !ok {
+		return 0, fmt.Errorf("core: backend has no dataset %q", base)
+	}
+	if pred == nil {
+		return int64(len(docs)), nil
+	}
+	var n int64
+	for _, d := range docs {
+		if pred.Eval(d) {
+			n++
+		}
+	}
+	return n, nil
+}

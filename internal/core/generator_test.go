@@ -1,0 +1,585 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/analyze"
+	"github.com/joda-explore/betze/internal/jsonstats"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// testCorpus builds a varied heterogeneous document set on which every
+// predicate factory can hit the default selectivity range.
+func testCorpus(n int, seed int64) []jsonval.Value {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]jsonval.Value, n)
+	cities := []string{"berlin", "paris", "tokyo", "lima"}
+	for i := range docs {
+		members := []jsonval.Member{
+			{Key: "id", Value: jsonval.IntValue(int64(i))},
+			{Key: "score", Value: jsonval.FloatValue(r.Float64() * 100)},
+			{Key: "level", Value: jsonval.IntValue(int64(r.Intn(10)))},
+			{Key: "active", Value: jsonval.BoolValue(r.Intn(2) == 0)},
+			{Key: "city", Value: jsonval.StringValue(cities[r.Intn(len(cities))])},
+		}
+		if r.Intn(2) == 0 {
+			members = append(members, jsonval.Member{Key: "user", Value: jsonval.ObjectValue(
+				jsonval.Member{Key: "name", Value: jsonval.StringValue(fmt.Sprintf("user_%02d", r.Intn(20)))},
+				jsonval.Member{Key: "verified", Value: jsonval.BoolValue(r.Intn(4) == 0)},
+			)})
+		}
+		if r.Intn(3) == 0 {
+			tags := make([]jsonval.Value, r.Intn(5))
+			for j := range tags {
+				tags[j] = jsonval.StringValue("t")
+			}
+			members = append(members, jsonval.Member{Key: "tags", Value: jsonval.ArrayValue(tags...)})
+		}
+		docs[i] = jsonval.ObjectValue(members...)
+	}
+	return docs
+}
+
+func corpusStats(t *testing.T, name string, docs []jsonval.Value) *jsonstats.Dataset {
+	t.Helper()
+	return analyze.Values(name, docs, analyze.Options{Workers: 1})
+}
+
+func TestGenerateSessionShape(t *testing.T) {
+	docs := testCorpus(2000, 1)
+	stats := corpusStats(t, "base", docs)
+	s, err := Generate(Options{Seed: 42, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != Novice.Queries {
+		t.Fatalf("queries = %d, want %d", len(s.Queries), Novice.Queries)
+	}
+	if len(s.Nodes) != 1+Novice.Queries {
+		t.Fatalf("nodes = %d", len(s.Nodes))
+	}
+	if !s.Nodes[0].IsInitial() || s.Nodes[0].Name != "base" {
+		t.Errorf("first node = %+v", s.Nodes[0])
+	}
+	explore := 0
+	for _, st := range s.Steps {
+		if st.From < 0 || st.From >= len(s.Nodes) || st.To < 0 || st.To >= len(s.Nodes) {
+			t.Fatalf("step references unknown node: %+v", st)
+		}
+		switch st.Kind {
+		case StepExplore:
+			explore++
+			child := s.Nodes[st.To]
+			if child.Parent == nil || child.Parent.ID != st.From {
+				t.Errorf("explore edge %d->%d does not match parent %v", st.From, st.To, child.Parent)
+			}
+		case StepBack:
+			from := s.Nodes[st.From]
+			if from.Parent == nil || from.Parent.ID != st.To {
+				t.Errorf("back edge %d->%d does not go to parent", st.From, st.To)
+			}
+		}
+	}
+	if explore != Novice.Queries {
+		t.Errorf("explore steps = %d", explore)
+	}
+	for i, n := range s.Nodes[1:] {
+		if n.Query == nil || n.NewPred == nil || n.Pred == nil {
+			t.Errorf("derived node %d lacks query/predicates", i+1)
+		}
+		if n.Query.ID != fmt.Sprintf("q%d", i+1) {
+			t.Errorf("query id = %q", n.Query.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1000, 2))
+	render := func(seed int64) string {
+		s, err := Generate(Options{Seed: seed}, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, q := range s.Queries {
+			sb.WriteString(q.String())
+			sb.WriteByte('\n')
+		}
+		for _, st := range s.Steps {
+			fmt.Fprintf(&sb, "%s %d %d\n", st.Kind, st.From, st.To)
+		}
+		return sb.String()
+	}
+	a, b := render(123), render(123)
+	if a != b {
+		t.Fatalf("same seed produced different sessions:\n%s\nvs\n%s", a, b)
+	}
+	if render(123) == render(124) {
+		t.Errorf("different seeds produced identical sessions")
+	}
+}
+
+func TestGenerateComposedMode(t *testing.T) {
+	docs := testCorpus(1500, 3)
+	stats := corpusStats(t, "base", docs)
+	s, err := Generate(Options{Seed: 7, Backend: SliceBackend{"base": docs}}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range s.Queries {
+		if q.Base != "base" {
+			t.Errorf("composed query reads %q, want the root dataset", q.Base)
+		}
+		if q.Store != "" {
+			t.Errorf("composed query stores %q", q.Store)
+		}
+	}
+	// A child explored from a derived dataset composes the parent chain:
+	// its filter must be And(parent.Pred, new).
+	for _, n := range s.Nodes[1:] {
+		if n.Parent.IsInitial() {
+			continue
+		}
+		and, ok := n.Pred.(query.And)
+		if !ok {
+			t.Fatalf("composed predicate of %s is %T", n.Name, n.Pred)
+		}
+		if and.Left.String() != n.Parent.Pred.String() {
+			t.Errorf("composed left side != parent predicate")
+		}
+		if and.Right.String() != n.NewPred.String() {
+			t.Errorf("composed right side != new predicate")
+		}
+	}
+}
+
+func TestGenerateMaterializeMode(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 4))
+	s, err := Generate(Options{Seed: 9, Materialize: true}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range s.Nodes[1:] {
+		q := n.Query
+		if q.Store != n.Name {
+			t.Errorf("query %d stores %q, node is %q", i+1, q.Store, n.Name)
+		}
+		if q.Base != n.Parent.Name {
+			t.Errorf("query %d reads %q, parent is %q", i+1, q.Base, n.Parent.Name)
+		}
+		if q.Filter.String() != n.NewPred.String() {
+			t.Errorf("materialised query %d carries composed filter", i+1)
+		}
+	}
+}
+
+func TestGenerateVerifiedSelectivities(t *testing.T) {
+	docs := testCorpus(4000, 5)
+	stats := corpusStats(t, "base", docs)
+	backend := SliceBackend{"base": docs}
+	s, err := Generate(Options{Seed: 11, Preset: Novice, Backend: backend}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRange := 0
+	for _, n := range s.Nodes[1:] {
+		if !n.Verified {
+			t.Errorf("node %s not verified despite backend", n.Name)
+		}
+		parent := n.Parent
+		if parent.Count == 0 {
+			continue
+		}
+		// Node count must equal the backend's truth.
+		matched, err := backend.CountMatching("base", n.Pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Count != matched {
+			t.Errorf("node %s count %d, backend says %d", n.Name, n.Count, matched)
+		}
+		sel := float64(n.Count) / float64(parent.Count)
+		if sel >= 0.2 && sel <= 0.9 {
+			inRange++
+		}
+	}
+	if inRange < (len(s.Nodes)-1)*8/10 {
+		t.Errorf("only %d/%d selectivities in range", inRange, len(s.Nodes)-1)
+	}
+}
+
+func TestGenerateNoDuplicateLeafPredicates(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(3000, 6))
+	s, err := Generate(Options{Seed: 13, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range s.Nodes[1:] {
+		for _, leaf := range query.Leaves(n.NewPred) {
+			key := leaf.String()
+			if seen[key] {
+				t.Errorf("duplicate leaf predicate %s", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestGenerateAggregations(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 7))
+	s, err := Generate(Options{Seed: 15, Aggregate: true, GroupBy: true, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := 0
+	for _, q := range s.Queries {
+		if q.Agg == nil {
+			t.Errorf("query %s lacks aggregation despite Aggregate", q.ID)
+			continue
+		}
+		if q.Agg.Grouped {
+			grouped++
+			if q.Agg.GroupBy == q.Agg.Path {
+				t.Errorf("group-by path equals aggregation path")
+			}
+		}
+	}
+	if grouped == 0 {
+		t.Errorf("no grouped aggregations generated")
+	}
+}
+
+func TestGenerateAggFraction(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 8))
+	s, err := Generate(Options{Seed: 17, Aggregate: true, AggFraction: 0.5, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := 0
+	for _, q := range s.Queries {
+		if q.Agg != nil {
+			with++
+		}
+	}
+	if with == 0 || with == len(s.Queries) {
+		t.Errorf("agg fraction 0.5 produced %d/%d aggregated queries", with, len(s.Queries))
+	}
+}
+
+func TestGenerateAggFuncsRestricted(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 9))
+	s, err := Generate(Options{Seed: 19, Aggregate: true, AggFuncs: []query.AggFunc{query.Count}, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range s.Queries {
+		if q.Agg != nil && q.Agg.Func != query.Count {
+			t.Errorf("aggregation %s not in restricted set", q.Agg)
+		}
+	}
+}
+
+func TestGenerateIncludePredicates(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 10))
+	// Only two boolean attributes exist, so the duplicate-suppression list
+	// caps how many distinct bool-eq predicates a session can hold: keep
+	// the session short.
+	s, err := Generate(Options{Seed: 21, IncludePredicates: []string{"bool-eq"}, Queries: 3}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind := range s.PredicateCounts() {
+		if kind != "bool-eq" {
+			t.Errorf("include list violated: generated %s", kind)
+		}
+	}
+}
+
+func TestGenerateExcludePredicates(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1500, 11))
+	s, err := Generate(Options{Seed: 23, ExcludePredicates: []string{"exists", "isstring"}, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.PredicateCounts()
+	if counts["exists"] > 0 || counts["isstring"] > 0 {
+		t.Errorf("exclude list violated: %v", counts)
+	}
+}
+
+func TestFixedSchemaGeneratesNoExistencePredicates(t *testing.T) {
+	// Reddit-style dataset: every attribute in every document (Fig. 8's
+	// observation that the fixed schema yields no existence predicates).
+	r := rand.New(rand.NewSource(12))
+	docs := make([]jsonval.Value, 1000)
+	for i := range docs {
+		docs[i] = jsonval.ObjectValue(
+			jsonval.Member{Key: "author", Value: jsonval.StringValue(fmt.Sprintf("u%02d", r.Intn(30)))},
+			jsonval.Member{Key: "ups", Value: jsonval.IntValue(int64(r.Intn(1000)))},
+			jsonval.Member{Key: "gilded", Value: jsonval.BoolValue(r.Intn(10) == 0)},
+		)
+	}
+	stats := corpusStats(t, "reddit", docs)
+	s, err := Generate(Options{Seed: 25, Preset: Novice}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PredicateCounts()["exists"] != 0 {
+		t.Errorf("existence predicates generated on fixed schema: %v", s.PredicateCounts())
+	}
+}
+
+func TestWeightedPathsShiftReferencesUp(t *testing.T) {
+	// Deeply nested dataset: weighted selection must reduce the mean
+	// depth of referenced attributes (Table IV's shift).
+	r := rand.New(rand.NewSource(13))
+	docs := make([]jsonval.Value, 1200)
+	for i := range docs {
+		deep := jsonval.ObjectValue(
+			jsonval.Member{Key: "d3", Value: jsonval.ObjectValue(
+				jsonval.Member{Key: "d4a", Value: jsonval.IntValue(int64(r.Intn(50)))},
+				jsonval.Member{Key: "d4b", Value: jsonval.StringValue(fmt.Sprintf("v%02d", r.Intn(20)))},
+				jsonval.Member{Key: "d4c", Value: jsonval.BoolValue(r.Intn(2) == 0)},
+			)},
+		)
+		docs[i] = jsonval.ObjectValue(
+			jsonval.Member{Key: "top", Value: jsonval.IntValue(int64(r.Intn(100)))},
+			jsonval.Member{Key: "l1", Value: jsonval.ObjectValue(
+				jsonval.Member{Key: "l2", Value: deep},
+			)},
+		)
+	}
+	stats := corpusStats(t, "deep", docs)
+	meanDepth := func(weighted bool) float64 {
+		var total, count float64
+		for seed := int64(0); seed < 8; seed++ {
+			s, err := Generate(Options{Seed: seed, Preset: Novice, WeightedPaths: weighted}, stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range s.PathReferences() {
+				total += float64(p.Depth())
+				count++
+			}
+		}
+		return total / count
+	}
+	w, u := meanDepth(true), meanDepth(false)
+	if w >= u {
+		t.Errorf("weighted mean depth %.2f not above unweighted %.2f in the hierarchy", w, u)
+	}
+}
+
+func TestGenerateMultipleDatasets(t *testing.T) {
+	a := corpusStats(t, "A", testCorpus(800, 14))
+	b := corpusStats(t, "B", testCorpus(800, 15))
+	s, err := Generate(Options{Seed: 27, Preset: Novice}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := map[string]bool{}
+	for _, n := range s.Nodes[1:] {
+		if !n.IsInitial() {
+			roots[n.Root] = true
+		}
+	}
+	// With 20 queries and jump probability 0.3 both roots are hit with
+	// overwhelming probability.
+	if len(roots) < 2 {
+		t.Logf("only one root explored (possible but unlikely); roots = %v", roots)
+	}
+	for _, q := range s.Queries {
+		if q.Base != "A" && q.Base != "B" {
+			t.Errorf("query base %q is not a root", q.Base)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(100, 16))
+	if _, err := Generate(Options{Seed: 1}); err == nil {
+		t.Errorf("no datasets accepted")
+	}
+	if _, err := Generate(Options{Seed: 1, MinSelectivity: 0.9, MaxSelectivity: 0.1}, stats); err == nil {
+		t.Errorf("invalid selectivity range accepted")
+	}
+	// A dataset on which nothing can be generated: a single all-null
+	// attribute present in every document.
+	nullDocs := make([]jsonval.Value, 10)
+	for i := range nullDocs {
+		nullDocs[i] = jsonval.ObjectValue(jsonval.Member{Key: "x", Value: jsonval.NullValue()})
+	}
+	nullStats := corpusStats(t, "nulls", nullDocs)
+	if _, err := Generate(Options{Seed: 1}, nullStats); err == nil {
+		t.Errorf("ungenerable dataset accepted")
+	}
+}
+
+func TestGenerateBackendError(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(100, 17))
+	backend := SliceBackend{} // missing dataset
+	if _, err := Generate(Options{Seed: 1, Backend: backend}, stats); err == nil {
+		t.Errorf("backend error not propagated")
+	}
+}
+
+func TestSessionReports(t *testing.T) {
+	docs := testCorpus(2000, 18)
+	stats := corpusStats(t, "base", docs)
+	s, err := Generate(Options{Seed: 29, Preset: Novice, Aggregate: true, GroupBy: true}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.PredicateCounts()
+	var total int64
+	for kind, c := range counts {
+		if c <= 0 {
+			t.Errorf("non-positive count for %s", kind)
+		}
+		total += c
+	}
+	if int(total) < len(s.Queries) {
+		t.Errorf("fewer leaves (%d) than queries (%d)", total, len(s.Queries))
+	}
+	refs := s.PathReferences()
+	if len(refs) == 0 {
+		t.Fatalf("no path references")
+	}
+	depths := s.DepthDistribution()
+	var sum int64
+	for d, c := range depths {
+		if d < 0 {
+			t.Errorf("negative depth %d", d)
+		}
+		sum += c
+	}
+	if sum != int64(len(refs)) {
+		t.Errorf("depth histogram sums to %d, references are %d", sum, len(refs))
+	}
+	dot := s.DOT()
+	if !strings.Contains(dot, "digraph session") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+}
+
+func TestSliceBackend(t *testing.T) {
+	docs := testCorpus(100, 19)
+	b := SliceBackend{"d": docs}
+	n, err := b.CountMatching("d", nil)
+	if err != nil || n != 100 {
+		t.Errorf("CountMatching(nil) = %d, %v", n, err)
+	}
+	n, err = b.CountMatching("d", query.Exists{Path: "/id"})
+	if err != nil || n != 100 {
+		t.Errorf("CountMatching(exists id) = %d, %v", n, err)
+	}
+	if _, err := b.CountMatching("nope", nil); err == nil {
+		t.Errorf("missing dataset accepted")
+	}
+}
+
+func TestGenerateTransforms(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(2000, 20))
+	s, err := Generate(Options{
+		Seed:              31,
+		Preset:            Novice,
+		Materialize:       true,
+		Transforms:        true,
+		TransformFraction: 1,
+	}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTransform := 0
+	for _, q := range s.Queries {
+		if q.Transform != nil {
+			withTransform++
+			if len(q.Transform.Ops) == 0 {
+				t.Errorf("%s has empty transform", q.ID)
+			}
+		}
+		if q.Store == "" {
+			t.Errorf("%s not materialised despite Transforms", q.ID)
+		}
+	}
+	if withTransform == 0 {
+		t.Fatalf("no transforms generated at fraction 1")
+	}
+	// A later query must not filter on an attribute a strictly earlier
+	// transform removed or renamed away along its own lineage.
+	removedBy := map[*Node]map[jsonval.Path]bool{}
+	for _, n := range s.Nodes {
+		gone := map[jsonval.Path]bool{}
+		if n.Parent != nil {
+			for p := range removedBy[n.Parent] {
+				gone[p] = true
+			}
+		}
+		if n.Query != nil && n.Query.Transform != nil {
+			for _, op := range n.Query.Transform.Ops {
+				if op.Kind != query.TransformAdd {
+					gone[op.Path] = true
+				}
+			}
+		}
+		removedBy[n] = gone
+		if n.Parent == nil || n.Query == nil {
+			continue
+		}
+		for _, leaf := range query.Leaves(n.NewPred) {
+			if p, ok := query.LeafPath(leaf); ok && removedBy[n.Parent][p] {
+				t.Errorf("%s filters on %s, which an ancestor transformed away", n.Query.ID, p)
+			}
+		}
+	}
+}
+
+func TestGenerateTransformOptionValidation(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(200, 21))
+	if _, err := Generate(Options{Seed: 1, Transforms: true}, stats); err == nil {
+		t.Errorf("transforms without materialize accepted")
+	}
+	docs := testCorpus(200, 22)
+	if _, err := Generate(Options{Seed: 1, Transforms: true, Materialize: true,
+		Backend: SliceBackend{"base": docs}}, stats); err == nil {
+		t.Errorf("transforms with backend accepted")
+	}
+	if _, err := Generate(Options{Seed: 1, Transforms: true, Materialize: true, TransformFraction: 2}, stats); err == nil {
+		t.Errorf("out-of-range transform fraction accepted")
+	}
+}
+
+func TestApplyTransformToStats(t *testing.T) {
+	stats := corpusStats(t, "base", testCorpus(1000, 23))
+	tr := &query.Transform{Ops: []query.TransformOp{
+		{Kind: query.TransformRename, Path: "/user", NewName: "account"},
+		{Kind: query.TransformRemove, Path: "/tags"},
+		{Kind: query.TransformAdd, Path: "/tag", Value: jsonval.StringValue("x")},
+	}}
+	out := applyTransformToStats(stats, tr)
+	if _, ok := out.Paths[jsonval.Path("/user")]; ok {
+		t.Errorf("renamed subtree root survived")
+	}
+	if _, ok := out.Paths[jsonval.Path("/user/name")]; ok {
+		t.Errorf("renamed subtree child survived")
+	}
+	if ps := out.Paths[jsonval.Path("/account/name")]; ps == nil || ps.Str == nil {
+		t.Errorf("moved child missing: %+v", ps)
+	}
+	if _, ok := out.Paths[jsonval.Path("/tags")]; ok {
+		t.Errorf("removed path survived")
+	}
+	added := out.Paths[jsonval.Path("/tag")]
+	if added == nil || added.Count != out.DocCount || added.Str == nil {
+		t.Errorf("added constant stats = %+v", added)
+	}
+	// The original stats are untouched.
+	if _, ok := stats.Paths[jsonval.Path("/user")]; !ok {
+		t.Errorf("source stats mutated")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Default generator parameters (§IV-B and §IV-C of the paper).
+const (
+	DefaultMinSelectivity = 0.2
+	DefaultMaxSelectivity = 0.9
+	// DefaultMaxAttempts bounds how many candidate predicates are tried
+	// per query before the closest-so-far is accepted.
+	DefaultMaxAttempts = 16
+	// DefaultMaxAugment bounds how many AND/OR conditions are added while
+	// steering a predicate into the target selectivity range.
+	DefaultMaxAugment = 4
+)
+
+// Options configures one generator run (one session). The zero value plus a
+// seed is the paper's default configuration: intermediate user, selectivity
+// range [0.2, 0.9], composed (non-materialised) queries, no aggregation.
+type Options struct {
+	// Preset selects the explorer configuration; zero means Intermediate
+	// (the paper's default).
+	Preset Preset
+	// Alpha, Beta and Queries overwrite parts of the preset when non-nil
+	// / positive (§IV-C "each of these values can also be set explicitly
+	// to either overwrite a part of a preset or create a unique
+	// configuration").
+	Alpha   *float64
+	Beta    *float64
+	Queries int
+
+	// Seed makes generator runs repeatable (§IV-C).
+	Seed int64
+
+	// MinSelectivity and MaxSelectivity bound each query's selectivity
+	// relative to its base dataset; zero values mean the defaults.
+	MinSelectivity float64
+	MaxSelectivity float64
+
+	// Aggregate enables aggregation queries; AggFraction is the fraction
+	// of queries that aggregate (zero means all, the paper's default).
+	Aggregate   bool
+	AggFraction float64
+	// AggFuncs restricts the aggregation functions; empty means all.
+	AggFuncs []query.AggFunc
+	// GroupBy additionally groups aggregations by a random suitable
+	// attribute when possible.
+	GroupBy bool
+
+	// Materialize stores every query result in an intermediate dataset
+	// instead of composing predicates over the base dataset (§IV-C
+	// "Materializing query results"). Incompatible with Aggregate, as the
+	// paper notes: an aggregated result cannot be filtered further.
+	Materialize bool
+
+	// Transforms adds attribute rename/remove/add stages to generated
+	// queries — the structure-changing workloads of the paper's
+	// future-work section. Transforms require Materialize (a transformed
+	// result cannot be re-derived by predicate composition) and run
+	// without a verification Backend, since ancestors' transformations
+	// invalidate root-relative predicate evaluation.
+	Transforms bool
+	// TransformFraction is the fraction of queries that transform; zero
+	// means the default of 1/3.
+	TransformFraction float64
+
+	// WeightedPaths biases attribute choice towards the document root with
+	// weight inversely correlated to path length (§IV-C "Weighted paths").
+	WeightedPaths bool
+
+	// IncludePredicates/ExcludePredicates restrict the predicate factories
+	// by name (§IV-C: "the set of permissible predicates can be set via
+	// exclusion or inclusion lists"). Include wins when both are set.
+	IncludePredicates []string
+	ExcludePredicates []string
+
+	// Backend verifies generated selectivities against the actual data
+	// (§IV-B). When nil, the generator falls back to scaling statistics,
+	// which the paper marks as "currently not recommended".
+	Backend Backend
+
+	// MaxAttempts and MaxAugment bound the per-query search; zero values
+	// mean the defaults.
+	MaxAttempts int
+	MaxAugment  int
+}
+
+// withDefaults resolves zero values to the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.Preset.Name == "" {
+		o.Preset = Intermediate
+	}
+	if o.Alpha != nil {
+		o.Preset.Alpha = *o.Alpha
+	}
+	if o.Beta != nil {
+		o.Preset.Beta = *o.Beta
+	}
+	if o.Queries > 0 {
+		o.Preset.Queries = o.Queries
+	}
+	if o.MinSelectivity == 0 {
+		o.MinSelectivity = DefaultMinSelectivity
+	}
+	if o.MaxSelectivity == 0 {
+		o.MaxSelectivity = DefaultMaxSelectivity
+	}
+	if o.AggFraction == 0 {
+		o.AggFraction = 1
+	}
+	if len(o.AggFuncs) == 0 {
+		o.AggFuncs = []query.AggFunc{query.Count, query.Sum}
+	}
+	if o.TransformFraction == 0 {
+		o.TransformFraction = 1.0 / 3
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.MaxAugment <= 0 {
+		o.MaxAugment = DefaultMaxAugment
+	}
+	return o
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	resolved := o.withDefaults()
+	if err := resolved.Preset.Validate(); err != nil {
+		return err
+	}
+	if resolved.MinSelectivity <= 0 || resolved.MaxSelectivity > 1 || resolved.MinSelectivity >= resolved.MaxSelectivity {
+		return fmt.Errorf("core: selectivity range [%g, %g] invalid: need 0 < min < max <= 1",
+			resolved.MinSelectivity, resolved.MaxSelectivity)
+	}
+	if o.Aggregate && o.Materialize {
+		return fmt.Errorf("core: aggregation cannot be combined with materialised intermediate datasets: an aggregated result cannot be filtered further")
+	}
+	if o.Transforms {
+		if !o.Materialize {
+			return fmt.Errorf("core: transforms require Materialize: a transformed result cannot be re-derived by composing predicates over the base dataset")
+		}
+		if o.Backend != nil {
+			return fmt.Errorf("core: transforms cannot use a verification backend: transformed ancestors invalidate root-relative predicate evaluation")
+		}
+	}
+	if o.TransformFraction < 0 || o.TransformFraction > 1 {
+		return fmt.Errorf("core: transform fraction %g outside [0, 1]", o.TransformFraction)
+	}
+	if o.AggFraction < 0 || o.AggFraction > 1 {
+		return fmt.Errorf("core: aggregation fraction %g outside [0, 1]", o.AggFraction)
+	}
+	for _, name := range append(append([]string{}, o.IncludePredicates...), o.ExcludePredicates...) {
+		if !knownFactory(name) {
+			return fmt.Errorf("core: unknown predicate factory %q (known: %v)", name, FactoryNames())
+		}
+	}
+	return nil
+}
+
+// Float64 returns a pointer to f, a convenience for the override fields.
+func Float64(f float64) *float64 { return &f }

@@ -1,0 +1,55 @@
+// Package core implements the paper's primary contribution: the random
+// explorer model (§III) and the query generator built on it (§IV-B).
+//
+// A simulated data scientist starts from one of the initial datasets and, at
+// every step, issues a query that derives a new dataset; the explorer then
+// returns to the parent dataset with probability α, jumps to a uniformly
+// random previously created dataset with probability β, and otherwise
+// continues exploring the dataset it just created. The α/β/n presets of
+// Table I model novice, intermediate and expert users.
+package core
+
+import "fmt"
+
+// Preset is a named random-explorer configuration (Table I of the paper).
+type Preset struct {
+	// Name identifies the preset ("novice", "intermediate", "expert").
+	Name string
+	// Alpha is the probability of going back to the parent dataset.
+	Alpha float64
+	// Beta is the probability of a random jump to any created dataset.
+	Beta float64
+	// Queries is the number of queries generated per session.
+	Queries int
+}
+
+// The default user configurations of Table I.
+var (
+	Novice       = Preset{Name: "novice", Alpha: 0.5, Beta: 0.3, Queries: 20}
+	Intermediate = Preset{Name: "intermediate", Alpha: 0.3, Beta: 0.2, Queries: 10}
+	Expert       = Preset{Name: "expert", Alpha: 0.2, Beta: 0.05, Queries: 5}
+)
+
+// Presets lists the built-in user configurations in paper order.
+func Presets() []Preset { return []Preset{Novice, Intermediate, Expert} }
+
+// PresetByName resolves a preset name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("core: unknown preset %q (want novice, intermediate or expert)", name)
+}
+
+// Validate checks that the probabilities form a valid explorer model.
+func (p Preset) Validate() error {
+	if p.Alpha < 0 || p.Beta < 0 || p.Alpha+p.Beta > 1 {
+		return fmt.Errorf("core: preset %q: alpha=%g beta=%g must be non-negative with alpha+beta <= 1", p.Name, p.Alpha, p.Beta)
+	}
+	if p.Queries < 1 {
+		return fmt.Errorf("core: preset %q: queries per session must be positive, got %d", p.Name, p.Queries)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+func TestTableOnePresets(t *testing.T) {
+	// Table I of the paper.
+	cases := []struct {
+		p       Preset
+		alpha   float64
+		beta    float64
+		queries int
+	}{
+		{Novice, 0.5, 0.3, 20},
+		{Intermediate, 0.3, 0.2, 10},
+		{Expert, 0.2, 0.05, 5},
+	}
+	for _, c := range cases {
+		if c.p.Alpha != c.alpha || c.p.Beta != c.beta || c.p.Queries != c.queries {
+			t.Errorf("%s = %+v, want alpha=%g beta=%g n=%d", c.p.Name, c.p, c.alpha, c.beta, c.queries)
+		}
+		if err := c.p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.p.Name, err)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"novice", "intermediate", "expert"} {
+		p, err := PresetByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("PresetByName(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := PresetByName("wizard"); err == nil {
+		t.Errorf("unknown preset accepted")
+	}
+}
+
+func TestPresetValidate(t *testing.T) {
+	bad := []Preset{
+		{Name: "x", Alpha: -0.1, Beta: 0.1, Queries: 5},
+		{Name: "x", Alpha: 0.6, Beta: 0.5, Queries: 5}, // sum > 1
+		{Name: "x", Alpha: 0.1, Beta: 0.1, Queries: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options invalid: %v", err)
+	}
+	bad := []Options{
+		{MinSelectivity: 0.9, MaxSelectivity: 0.2},
+		{MinSelectivity: -0.1, MaxSelectivity: 0.5},
+		{MaxSelectivity: 1.5},
+		{Aggregate: true, Materialize: true},
+		{AggFraction: 2},
+		{IncludePredicates: []string{"no-such-pred"}},
+		{ExcludePredicates: []string{"no-such-pred"}},
+		{Alpha: Float64(0.9), Beta: Float64(0.9)},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+}
+
+func TestOptionsOverrides(t *testing.T) {
+	o := Options{Alpha: Float64(0.7), Beta: Float64(0.1), Queries: 3}.withDefaults()
+	if o.Preset.Name != "intermediate" {
+		t.Errorf("default preset = %q", o.Preset.Name)
+	}
+	if o.Preset.Alpha != 0.7 || o.Preset.Beta != 0.1 || o.Preset.Queries != 3 {
+		t.Errorf("overrides not applied: %+v", o.Preset)
+	}
+	if o.MinSelectivity != DefaultMinSelectivity || o.MaxSelectivity != DefaultMaxSelectivity {
+		t.Errorf("selectivity defaults: %g..%g", o.MinSelectivity, o.MaxSelectivity)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// TestSessionInvariantsQuick checks the structural invariants of generated
+// sessions across random explorer configurations:
+//   - node/step indices are consistent and parents precede children,
+//   - in composed mode, every node's count equals the number of base
+//     documents matching its composed predicate (backend truth),
+//   - document counts never grow along an edge (filtering only removes).
+func TestSessionInvariantsQuick(t *testing.T) {
+	docs := testCorpus(1200, 77)
+	stats := corpusStats(t, "base", docs)
+	backend := SliceBackend{"base": docs}
+
+	cfg := &quick.Config{MaxCount: 25, Values: func(vs []reflect.Value, r *rand.Rand) {
+		alpha := float64(r.Intn(7)) / 10
+		beta := float64(r.Intn(10-int(alpha*10))) / 10
+		vs[0] = reflect.ValueOf(Options{
+			Seed:    r.Int63(),
+			Alpha:   Float64(alpha),
+			Beta:    Float64(beta),
+			Queries: 1 + r.Intn(12),
+			Backend: backend,
+		})
+	}}
+	prop := func(opts Options) bool {
+		s, err := Generate(opts, stats)
+		if err != nil {
+			t.Logf("Generate: %v", err)
+			return false
+		}
+		if len(s.Nodes) != 1+len(s.Queries) {
+			t.Logf("nodes %d, queries %d", len(s.Nodes), len(s.Queries))
+			return false
+		}
+		for i, n := range s.Nodes {
+			if n.ID != i {
+				return false
+			}
+			if n.Parent != nil {
+				if n.Parent.ID >= n.ID {
+					t.Logf("child %d precedes parent %d", n.ID, n.Parent.ID)
+					return false
+				}
+				if n.Count > n.Parent.Count {
+					t.Logf("node %s grew: %d > parent %d", n.Name, n.Count, n.Parent.Count)
+					return false
+				}
+				matched, err := backend.CountMatching("base", n.Pred)
+				if err != nil || matched != n.Count {
+					t.Logf("node %s count %d, backend %d (%v)", n.Name, n.Count, matched, err)
+					return false
+				}
+			}
+		}
+		for _, st := range s.Steps {
+			if st.From < 0 || st.From >= len(s.Nodes) || st.To < 0 || st.To >= len(s.Nodes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComposedFilterSemanticsQuick: executing a node's emitted query over
+// the base documents must select exactly the node's dataset, i.e. the
+// composed filter is semantically equal to filtering step by step along the
+// lineage.
+func TestComposedFilterSemanticsQuick(t *testing.T) {
+	docs := testCorpus(800, 78)
+	stats := corpusStats(t, "base", docs)
+	cfg := &quick.Config{MaxCount: 15, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(r.Int63())
+	}}
+	prop := func(seed int64) bool {
+		s, err := Generate(Options{Seed: seed, Queries: 8}, stats)
+		if err != nil {
+			t.Logf("Generate: %v", err)
+			return false
+		}
+		for _, n := range s.Nodes[1:] {
+			// Step-by-step filtering along the lineage.
+			var chain []query.Predicate
+			for cur := n; cur.Parent != nil; cur = cur.Parent {
+				chain = append(chain, cur.NewPred)
+			}
+			for _, d := range docs {
+				stepwise := true
+				for i := len(chain) - 1; i >= 0; i-- {
+					if !chain[i].Eval(d) {
+						stepwise = false
+						break
+					}
+				}
+				if composed := n.Pred.Eval(d); composed != stepwise {
+					t.Logf("composed filter diverges for %s on %s", n.Name, d)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// SessionFile is the shareable on-disk form of a generated session: the
+// query sequence plus the dependency-graph skeleton. Together with the seed
+// and the means to acquire the dataset, it lets a second party validate
+// results or generate queries for another system (§IV-C).
+type SessionFile struct {
+	Preset  Preset         `json:"preset"`
+	Seed    int64          `json:"seed"`
+	Queries []*query.Query `json:"queries"`
+	Nodes   []NodeInfo     `json:"nodes"`
+	Steps   []Step         `json:"steps"`
+}
+
+// NodeInfo is the serialisable skeleton of a graph node.
+type NodeInfo struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Root string `json:"root"`
+	// Parent is the parent node ID, -1 for initial datasets.
+	Parent int `json:"parent"`
+	// Count is the (verified or estimated) document count.
+	Count int64 `json:"count"`
+	// Verified marks backend-verified counts.
+	Verified bool `json:"verified"`
+}
+
+// File converts the session into its shareable form.
+func (s *Session) File() *SessionFile {
+	f := &SessionFile{
+		Preset:  s.Preset,
+		Seed:    s.Seed,
+		Queries: s.Queries,
+		Steps:   s.Steps,
+	}
+	for _, n := range s.Nodes {
+		parent := -1
+		if n.Parent != nil {
+			parent = n.Parent.ID
+		}
+		f.Nodes = append(f.Nodes, NodeInfo{
+			ID: n.ID, Name: n.Name, Root: n.Root,
+			Parent: parent, Count: n.Count, Verified: n.Verified,
+		})
+	}
+	return f
+}
+
+// WriteTo streams the session file as indented JSON.
+func (f *SessionFile) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("core: encoding session: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteSessionFile stores the session under path.
+func WriteSessionFile(path string, s *Session) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, err := s.File().WriteTo(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadSessionFile loads a session file written by WriteSessionFile.
+func ReadSessionFile(path string) (*SessionFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var f SessionFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: decoding session file %s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSessionFileRoundTrip(t *testing.T) {
+	docs := testCorpus(1200, 99)
+	stats := corpusStats(t, "base", docs)
+	s, err := Generate(Options{Seed: 3, Preset: Novice, Aggregate: true, GroupBy: true}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "session.json")
+	if err := WriteSessionFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSessionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Preset != s.Preset || back.Seed != s.Seed {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if len(back.Queries) != len(s.Queries) {
+		t.Fatalf("query count %d != %d", len(back.Queries), len(s.Queries))
+	}
+	for i := range back.Queries {
+		if back.Queries[i].String() != s.Queries[i].String() {
+			t.Errorf("query %d differs:\n got %s\nwant %s", i, back.Queries[i], s.Queries[i])
+		}
+	}
+	if len(back.Nodes) != len(s.Nodes) || len(back.Steps) != len(s.Steps) {
+		t.Errorf("graph skeleton lost: %d/%d nodes, %d/%d steps",
+			len(back.Nodes), len(s.Nodes), len(back.Steps), len(s.Steps))
+	}
+	for i, n := range back.Nodes {
+		wantParent := -1
+		if s.Nodes[i].Parent != nil {
+			wantParent = s.Nodes[i].Parent.ID
+		}
+		if n.Parent != wantParent || n.Name != s.Nodes[i].Name || n.Count != s.Nodes[i].Count {
+			t.Errorf("node %d mismatch: %+v", i, n)
+		}
+	}
+}
+
+func TestReadSessionFileErrors(t *testing.T) {
+	if _, err := ReadSessionFile("/does/not/exist.json"); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFileHelper(bad, "{broken"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSessionFile(bad); err == nil {
+		t.Errorf("malformed file accepted")
+	}
+}
+
+func writeFileHelper(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,83 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// NewNoBench returns a generator for the NoBench dataset of Chasseur et al.
+// (the paper's scalability dataset): every document carries about 21 shallow
+// attributes covering all JSON types except null — two strings with large
+// shared prefix groups, numbers, a boolean, two dynamically typed
+// attributes, a string array, a two-member nested object, and a cluster of
+// ten sparse attributes drawn from a pool of one thousand.
+func NewNoBench() Source {
+	return Source{Name: "NoBench", next: nobenchDoc}
+}
+
+// str1Groups are the four-character group labels of str1.
+var str1Groups = []string{
+	"GBRD", "MFRG", "ORSX", "NZSA", "KRUG", "PFXG", "LBSW", "QQGC",
+	"ZB2W", "X3JN", "C4DS", "V5HU", "B6YT", "D7KQ", "E2MN", "F4PL",
+}
+
+// base32ish encodes n in a base32-like alphabet, producing NoBench-style
+// string payloads.
+func base32ish(n int64) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+	buf := [13]byte{}
+	for i := range buf {
+		buf[i] = alphabet[n&31]
+		n >>= 5
+	}
+	return string(buf[:])
+}
+
+func nobenchDoc(r *rand.Rand, i int) jsonval.Value {
+	n := int64(i)
+	// dyn1 alternates int/string per document; dyn2 alternates bool/object.
+	var dyn1, dyn2 jsonval.Value
+	if i%2 == 0 {
+		dyn1 = num(n)
+	} else {
+		dyn1 = str(fmt.Sprintf("%d", n))
+	}
+	if i%10 < 5 {
+		dyn2 = boolean(i%10 < 2)
+	} else {
+		dyn2 = jsonval.ObjectValue(m("str", str(base32ish(r.Int63()))))
+	}
+	arrLen := r.Intn(8)
+	arr := make([]jsonval.Value, arrLen)
+	for j := range arr {
+		arr[j] = str(base32ish(r.Int63n(1 << 20)))
+	}
+	// str1 carries a group label up front so documents fall into large
+	// shared prefix classes of skewed sizes, the property that makes
+	// HASPREFIX the dominant predicate on NoBench (Fig. 8).
+	group := int(16 * r.Float64() * r.Float64())
+	members := []jsonval.Member{
+		m("str1", str(str1Groups[group]+base32ish(r.Int63n(1<<25)))),
+		m("str2", str(base32ish(n))),
+		m("num", num(n)),
+		m("bool", boolean(i%2 == 0)),
+		m("dyn1", dyn1),
+		m("dyn2", dyn2),
+		m("nested_arr", jsonval.ArrayValue(arr...)),
+		m("nested_obj", jsonval.ObjectValue(
+			m("str", str(base32ish(r.Int63n(1<<30)))),
+			m("num", num(n*2)),
+		)),
+		m("thousandth", num(n%1000)),
+	}
+	// Ten sparse attributes from a clustered window of the 1000-attribute
+	// pool, as in the original generator.
+	cluster := (i * 10) % 1000
+	for j := 0; j < 10; j++ {
+		key := fmt.Sprintf("sparse_%03d", (cluster+j)%1000)
+		members = append(members, m(key, str(base32ish(r.Int63n(1<<15)))))
+	}
+	return jsonval.ObjectValue(members...)
+}

@@ -1,0 +1,116 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// RedditOptions configures the Reddit-comments generator.
+type RedditOptions struct {
+	// NullByteFraction is the fraction of comments whose body embeds a
+	// U+0000 escape, which real Reddit dumps contain and which makes
+	// PostgreSQL's JSONB import fail (Table III of the paper). Zero means
+	// the default of 0.0005; set it negative to disable.
+	NullByteFraction float64
+}
+
+func (o RedditOptions) fraction() float64 {
+	if o.NullByteFraction == 0 {
+		return 0.0005
+	}
+	if o.NullByteFraction < 0 {
+		return 0
+	}
+	return o.NullByteFraction
+}
+
+// NewReddit returns a generator for a Reddit-comments dataset: a flat,
+// fixed schema of 20 attributes with no nesting and no optional fields, the
+// paper's "relational data represented in JSON" case. Every document has
+// exactly the same attribute set, so BETZE generates no existence
+// predicates on it (Fig. 8). U+0000 bodies are injected periodically (every
+// round(1/fraction)-th document) rather than randomly, so every non-trivial
+// sample deterministically reproduces PostgreSQL's import failure.
+func NewReddit(opts RedditOptions) Source {
+	frac := opts.fraction()
+	period := 0
+	if frac > 0 {
+		period = int(1 / frac)
+		if period < 1 {
+			period = 1
+		}
+	}
+	return Source{Name: "Reddit", next: func(r *rand.Rand, i int) jsonval.Value {
+		return redditDoc(r, i, period)
+	}}
+}
+
+var (
+	redditSubreddits = []string{"soccer", "funny", "AskReddit", "gaming", "de", "news", "science", "movies"}
+	redditFlairs     = []string{"fan", "mod-pick", "star", "og", "new"}
+	redditWords      = []string{
+		"the", "match", "was", "incredible", "totally", "agree", "classic",
+		"this", "comment", "deserves", "gold", "source", "please", "lol",
+	}
+)
+
+func redditDoc(r *rand.Rand, i int, nullPeriod int) jsonval.Value {
+	id := fmt.Sprintf("c%07x", r.Uint32())
+	link := fmt.Sprintf("t3_%06x", r.Uint32())
+	sub := redditSubreddits[r.Intn(len(redditSubreddits))]
+	body := redditText(r)
+	if nullPeriod > 0 && (i+1)%nullPeriod == 0 {
+		body += "\x00"
+	}
+	var edited jsonval.Value = boolean(false)
+	if r.Intn(20) == 0 {
+		edited = num(1500000000 + r.Int63n(1e8))
+	}
+	var distinguished jsonval.Value = jsonval.NullValue()
+	if r.Intn(50) == 0 {
+		distinguished = str("moderator")
+	}
+	var flairCSS, flairText jsonval.Value = jsonval.NullValue(), jsonval.NullValue()
+	if r.Intn(3) == 0 {
+		f := redditFlairs[r.Intn(len(redditFlairs))]
+		flairCSS = str(f)
+		flairText = str(strings.ToUpper(f))
+	}
+	return jsonval.ObjectValue(
+		m("author", str(fmt.Sprintf("user_%05d", r.Intn(50000)))),
+		m("author_flair_css_class", flairCSS),
+		m("author_flair_text", flairText),
+		m("body", str(body)),
+		m("can_gild", boolean(r.Intn(10) != 0)),
+		m("controversiality", num(int64(r.Intn(2)))),
+		m("created_utc", num(1500000000+r.Int63n(1e8))),
+		m("distinguished", distinguished),
+		m("edited", edited),
+		m("gilded", num(int64(r.Intn(3)))),
+		m("id", str(id)),
+		m("is_submitter", boolean(r.Intn(8) == 0)),
+		m("link_id", str(link)),
+		m("parent_id", str(fmt.Sprintf("t1_%06x", r.Uint32()))),
+		m("permalink", str(fmt.Sprintf("/r/%s/comments/%s/%s/", sub, link[3:], id))),
+		m("retrieved_on", num(1600000000+r.Int63n(1e8))),
+		m("score", num(int64(r.Intn(20000)-100))),
+		m("stickied", boolean(r.Intn(100) == 0)),
+		m("subreddit", str(sub)),
+		m("subreddit_id", str(fmt.Sprintf("t5_%05x", r.Uint32()%0x100000))),
+	)
+}
+
+func redditText(r *rand.Rand) string {
+	n := 2 + r.Intn(30)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(redditWords[r.Intn(len(redditWords))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// NewTwitter returns a generator producing a raw-Twitter-stream-like mix of
+// events: status updates (some of them retweets with a fully nested
+// retweeted_status), delete events, and rate-limit notices. Documents are
+// heterogeneous (many optional attributes), nest up to six levels, and vary
+// widely in size — the properties the paper's Twitter dataset exhibits
+// (7–348 attributes per document, every JSON type).
+func NewTwitter() Source {
+	return Source{Name: "Twitter", next: twitterDoc}
+}
+
+var (
+	twitterLangs     = []string{"en", "de", "ja", "es", "pt", "fr", "tr", "und"}
+	twitterTimezones = []string{"Berlin", "Pacific Time (US & Canada)", "Tokyo", "London", "Brasilia", "Amsterdam", "Athens"}
+	twitterSources   = []string{
+		`<a href="http://twitter.com/download/iphone" rel="nofollow">Twitter for iPhone</a>`,
+		`<a href="http://twitter.com/download/android" rel="nofollow">Twitter for Android</a>`,
+		`<a href="https://mobile.twitter.com" rel="nofollow">Twitter Web App</a>`,
+	}
+	twitterCities = []string{"Berlin, Germany", "Kaiserslautern", "Tokyo", "NYC", "São Paulo", "London, UK"}
+	twitterWords  = []string{
+		"soccer", "football", "goal", "match", "team", "league", "cup", "fans",
+		"today", "watch", "live", "great", "new", "shoes", "boots", "apparel",
+	}
+)
+
+func twitterDoc(r *rand.Rand, i int) jsonval.Value {
+	switch p := r.Float64(); {
+	case p < 0.12:
+		return twitterDelete(r)
+	case p < 0.16:
+		return twitterLimit(r)
+	default:
+		return twitterStatus(r, true)
+	}
+}
+
+// twitterStatus builds a status update; withRetweet allows one level of
+// embedded retweeted_status (which itself never embeds another).
+func twitterStatus(r *rand.Rand, withRetweet bool) jsonval.Value {
+	id := 1000000000000 + r.Int63n(9000000000000)
+	members := []jsonval.Member{
+		m("created_at", str(twitterDate(r))),
+		m("id", num(id)),
+		m("id_str", str(fmt.Sprintf("%d", id))),
+		m("text", str(twitterText(r))),
+		m("source", str(twitterSources[r.Intn(len(twitterSources))])),
+		m("truncated", boolean(r.Intn(10) == 0)),
+		m("in_reply_to_status_id", jsonval.NullValue()),
+		m("in_reply_to_status_id_str", jsonval.NullValue()),
+		m("in_reply_to_user_id", jsonval.NullValue()),
+		m("in_reply_to_user_id_str", jsonval.NullValue()),
+		m("in_reply_to_screen_name", jsonval.NullValue()),
+		m("contributors", jsonval.NullValue()),
+		m("is_quote_status", boolean(r.Intn(8) == 0)),
+		m("filter_level", str("low")),
+		m("user", twitterUser(r)),
+	}
+	if withRetweet && r.Intn(100) < 30 {
+		members = append(members, m("retweeted_status", twitterStatus(r, false)))
+	}
+	if r.Intn(100) < 85 {
+		members = append(members, m("entities", twitterEntities(r)))
+	}
+	if r.Intn(100) < 20 {
+		members = append(members, m("coordinates", jsonval.ObjectValue(
+			m("type", str("Point")),
+			m("coordinates", jsonval.ArrayValue(flt(r.Float64()*360-180), flt(r.Float64()*180-90))),
+		)))
+	}
+	if r.Intn(100) < 15 {
+		members = append(members, m("place", jsonval.ObjectValue(
+			m("id", str(fmt.Sprintf("%08x", r.Uint32()))),
+			m("place_type", str("city")),
+			m("name", str(twitterCities[r.Intn(len(twitterCities))])),
+			m("country_code", str([]string{"DE", "US", "JP", "GB", "BR"}[r.Intn(5)])),
+		)))
+	}
+	members = append(members,
+		m("retweet_count", num(int64(r.Intn(10000)))),
+		m("favorite_count", num(int64(r.Intn(50000)))),
+		m("favorited", boolean(false)),
+		m("retweeted", boolean(false)),
+		m("lang", str(twitterLangs[r.Intn(len(twitterLangs))])),
+	)
+	if r.Intn(100) < 40 {
+		members = append(members, m("possibly_sensitive", boolean(r.Intn(20) == 0)))
+	}
+	if r.Intn(100) < 10 {
+		members = append(members, m("quote_count", num(int64(r.Intn(500)))),
+			m("reply_count", num(int64(r.Intn(1000)))))
+	}
+	if r.Intn(100) < 25 {
+		// Floating-point attribute outside arrays so the analyzer sees
+		// float statistics (array elements are size-summarised only).
+		members = append(members, m("metadata", jsonval.ObjectValue(
+			m("result_score", flt(r.Float64())),
+			m("iso_language_code", str(twitterLangs[r.Intn(len(twitterLangs))])),
+		)))
+	}
+	return jsonval.ObjectValue(members...)
+}
+
+func twitterUser(r *rand.Rand) jsonval.Value {
+	id := 10000 + r.Int63n(2000000000)
+	members := []jsonval.Member{
+		m("id", num(id)),
+		m("id_str", str(fmt.Sprintf("%d", id))),
+		m("name", str(fmt.Sprintf("user %s%d", twitterWords[r.Intn(len(twitterWords))], r.Intn(10000)))),
+		m("screen_name", str(fmt.Sprintf("%s_%04d", twitterWords[r.Intn(len(twitterWords))], r.Intn(10000)))),
+		m("verified", boolean(r.Intn(50) == 0)),
+		m("followers_count", num(int64(r.Intn(1000000)))),
+		m("friends_count", num(int64(r.Intn(5000)))),
+		m("statuses_count", num(int64(r.Intn(200000)))),
+		m("created_at", str(twitterDate(r))),
+		m("geo_enabled", boolean(r.Intn(3) == 0)),
+		m("lang", str(twitterLangs[r.Intn(len(twitterLangs))])),
+		// The boilerplate profile fields every raw-stream user object
+		// carries; they are what make real tweets kilobytes large.
+		m("listed_count", num(int64(r.Intn(500)))),
+		m("favourites_count", num(int64(r.Intn(50000)))),
+		m("protected", boolean(r.Intn(40) == 0)),
+		m("contributors_enabled", boolean(false)),
+		m("is_translator", boolean(r.Intn(100) == 0)),
+		m("profile_background_color", str(hexColor(r))),
+		m("profile_background_image_url", str(fmt.Sprintf("http://abs.twimg.com/images/themes/theme%d/bg.png", 1+r.Intn(19)))),
+		m("profile_background_tile", boolean(r.Intn(4) == 0)),
+		m("profile_link_color", str(hexColor(r))),
+		m("profile_sidebar_border_color", str(hexColor(r))),
+		m("profile_sidebar_fill_color", str(hexColor(r))),
+		m("profile_text_color", str(hexColor(r))),
+		m("profile_use_background_image", boolean(r.Intn(3) > 0)),
+		m("default_profile", boolean(r.Intn(2) == 0)),
+		m("default_profile_image", boolean(r.Intn(20) == 0)),
+		m("following", jsonval.NullValue()),
+		m("follow_request_sent", jsonval.NullValue()),
+		m("notifications", jsonval.NullValue()),
+	}
+	if r.Intn(100) < 55 {
+		members = append(members, m("location", str(twitterCities[r.Intn(len(twitterCities))])))
+	}
+	if r.Intn(100) < 65 {
+		members = append(members, m("description", str(twitterText(r))))
+	}
+	if r.Intn(100) < 45 {
+		members = append(members, m("time_zone", str(twitterTimezones[r.Intn(len(twitterTimezones))])))
+	}
+	if r.Intn(100) < 70 {
+		members = append(members, m("profile_image_url", str(fmt.Sprintf("http://pbs.twimg.com/profile_images/%d/photo.jpg", r.Int63n(1e12)))))
+	}
+	if r.Intn(100) < 35 {
+		// Profile entities as in the real API: user.entities.url.urls /
+		// user.entities.description.urls, which reach depth five inside
+		// a retweeted_status.
+		members = append(members, m("entities", jsonval.ObjectValue(
+			m("url", jsonval.ObjectValue(
+				m("urls", jsonval.ArrayValue(jsonval.ObjectValue(
+					m("url", str(fmt.Sprintf("https://t.co/%07x", r.Uint32()))),
+				))),
+				m("display", boolean(r.Intn(2) == 0)),
+			)),
+			m("description", jsonval.ObjectValue(
+				m("urls", jsonval.ArrayValue()),
+				m("mentions_count", num(int64(r.Intn(5)))),
+			)),
+		)))
+	}
+	return jsonval.ObjectValue(members...)
+}
+
+func twitterEntities(r *rand.Rand) jsonval.Value {
+	tags := make([]jsonval.Value, r.Intn(4))
+	for i := range tags {
+		tags[i] = jsonval.ObjectValue(
+			m("text", str(twitterWords[r.Intn(len(twitterWords))])),
+			m("indices", jsonval.ArrayValue(num(int64(r.Intn(100))), num(int64(100+r.Intn(40))))),
+		)
+	}
+	urls := make([]jsonval.Value, r.Intn(3))
+	for i := range urls {
+		urls[i] = jsonval.ObjectValue(
+			m("url", str(fmt.Sprintf("https://t.co/%07x", r.Uint32()))),
+			m("expanded_url", str(fmt.Sprintf("https://example.com/%s/%d", twitterWords[r.Intn(len(twitterWords))], r.Intn(100000)))),
+		)
+	}
+	mentions := make([]jsonval.Value, r.Intn(3))
+	for i := range mentions {
+		uid := r.Int63n(2000000000)
+		mentions[i] = jsonval.ObjectValue(
+			m("screen_name", str(fmt.Sprintf("%s_%04d", twitterWords[r.Intn(len(twitterWords))], r.Intn(10000)))),
+			m("id", num(uid)),
+		)
+	}
+	return jsonval.ObjectValue(
+		m("hashtags", jsonval.ArrayValue(tags...)),
+		m("urls", jsonval.ArrayValue(urls...)),
+		m("user_mentions", jsonval.ArrayValue(mentions...)),
+	)
+}
+
+func twitterDelete(r *rand.Rand) jsonval.Value {
+	id := 1000000000000 + r.Int63n(9000000000000)
+	uid := 10000 + r.Int63n(2000000000)
+	return jsonval.ObjectValue(
+		m("delete", jsonval.ObjectValue(
+			m("status", jsonval.ObjectValue(
+				m("id", num(id)),
+				m("id_str", str(fmt.Sprintf("%d", id))),
+				m("user_id", num(uid)),
+				m("user_id_str", str(fmt.Sprintf("%d", uid))),
+			)),
+			m("timestamp_ms", str(fmt.Sprintf("%d", 1630000000000+r.Int63n(1e10)))),
+		)),
+	)
+}
+
+func twitterLimit(r *rand.Rand) jsonval.Value {
+	return jsonval.ObjectValue(
+		m("limit", jsonval.ObjectValue(
+			m("track", num(int64(r.Intn(100000)))),
+			m("timestamp_ms", str(fmt.Sprintf("%d", 1630000000000+r.Int63n(1e10)))),
+		)),
+	)
+}
+
+func hexColor(r *rand.Rand) string {
+	return fmt.Sprintf("%06X", r.Uint32()&0xFFFFFF)
+}
+
+func twitterText(r *rand.Rand) string {
+	n := 3 + r.Intn(12)
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, twitterWords[r.Intn(len(twitterWords))]...)
+	}
+	return string(out)
+}
+
+func twitterDate(r *rand.Rand) string {
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+	return fmt.Sprintf("%s %s %02d %02d:%02d:%02d +0000 %d",
+		days[r.Intn(7)], months[r.Intn(12)], 1+r.Intn(28),
+		r.Intn(24), r.Intn(60), r.Intn(60), 2020+r.Intn(2))
+}

@@ -1,0 +1,195 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// The differential fuzz: random predicates over random documents must yield
+// identical results on all four engines. This is the strongest correctness
+// check in the repository — any divergence between the typed evaluator
+// (jodasim), the lazy BSON walker (mongosim), the JSONB decoder (pgsim) and
+// the boxed-value interpreter (jqsim) fails it.
+
+var fuzzPaths = []jsonval.Path{"/a", "/b", "/c", "/nest/x", "/nest/y", "/arr", "/obj", "/missing"}
+
+func fuzzPredicate(r *rand.Rand, depth int) query.Predicate {
+	if depth > 0 && r.Intn(3) == 0 {
+		l, rr := fuzzPredicate(r, depth-1), fuzzPredicate(r, depth-1)
+		if r.Intn(2) == 0 {
+			return query.And{Left: l, Right: rr}
+		}
+		return query.Or{Left: l, Right: rr}
+	}
+	p := fuzzPaths[r.Intn(len(fuzzPaths))]
+	ops := []query.CmpOp{query.Lt, query.Le, query.Gt, query.Ge, query.Eq}
+	switch r.Intn(9) {
+	case 0:
+		return query.Exists{Path: p}
+	case 1:
+		return query.IsString{Path: p}
+	case 2:
+		return query.IntEq{Path: p, Value: int64(r.Intn(20) - 10)}
+	case 3:
+		return query.FloatCmp{Path: p, Op: ops[r.Intn(len(ops))], Value: float64(r.Intn(200)-100) / 4}
+	case 4:
+		return query.StrEq{Path: p, Value: fuzzString(r)}
+	case 5:
+		s := fuzzString(r)
+		n := 1 + r.Intn(2)
+		if n > len(s) {
+			n = len(s)
+		}
+		return query.HasPrefix{Path: p, Prefix: s[:n]}
+	case 6:
+		return query.BoolEq{Path: p, Value: r.Intn(2) == 0}
+	case 7:
+		return query.ArrSize{Path: p, Op: ops[r.Intn(len(ops))], Value: r.Intn(5)}
+	default:
+		return query.ObjSize{Path: p, Op: ops[r.Intn(len(ops))], Value: r.Intn(5)}
+	}
+}
+
+func fuzzString(r *rand.Rand) string {
+	base := []string{"alpha", "beta", "gamma", "um läut", "x"}
+	return base[r.Intn(len(base))]
+}
+
+func fuzzValue(r *rand.Rand, depth int) jsonval.Value {
+	max := 7
+	if depth <= 0 {
+		max = 5
+	}
+	switch r.Intn(max) {
+	case 0:
+		return jsonval.NullValue()
+	case 1:
+		return jsonval.BoolValue(r.Intn(2) == 0)
+	case 2:
+		return jsonval.IntValue(int64(r.Intn(20) - 10))
+	case 3:
+		// Halves stay exact in float64, keeping jq's double semantics
+		// aligned with the exact engines.
+		return jsonval.FloatValue(float64(r.Intn(200)-100) / 2)
+	case 4:
+		return jsonval.StringValue(fuzzString(r))
+	case 5:
+		n := r.Intn(5)
+		elems := make([]jsonval.Value, n)
+		for i := range elems {
+			elems[i] = fuzzValue(r, depth-1)
+		}
+		return jsonval.ArrayValue(elems...)
+	default:
+		n := r.Intn(4)
+		members := make([]jsonval.Member, 0, n)
+		used := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := string(rune('p' + r.Intn(4)))
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			members = append(members, jsonval.Member{Key: k, Value: fuzzValue(r, depth-1)})
+		}
+		return jsonval.ObjectValue(members...)
+	}
+}
+
+func fuzzDoc(r *rand.Rand) jsonval.Value {
+	var members []jsonval.Member
+	for _, key := range []string{"a", "b", "c"} {
+		if r.Intn(4) > 0 {
+			members = append(members, jsonval.Member{Key: key, Value: fuzzValue(r, 1)})
+		}
+	}
+	if r.Intn(2) == 0 {
+		members = append(members, jsonval.Member{Key: "nest", Value: jsonval.ObjectValue(
+			jsonval.Member{Key: "x", Value: fuzzValue(r, 1)},
+			jsonval.Member{Key: "y", Value: fuzzValue(r, 1)},
+		)})
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(5)
+		elems := make([]jsonval.Value, n)
+		for i := range elems {
+			elems[i] = fuzzValue(r, 0)
+		}
+		members = append(members, jsonval.Member{Key: "arr", Value: jsonval.ArrayValue(elems...)})
+	}
+	if r.Intn(2) == 0 {
+		members = append(members, jsonval.Member{Key: "obj", Value: fuzzValue(r, 1)})
+	}
+	return jsonval.ObjectValue(members...)
+}
+
+func TestDifferentialFuzzAcrossEngines(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	docs := make([]jsonval.Value, 400)
+	for i := range docs {
+		docs[i] = fuzzDoc(r)
+	}
+	engines := allEngines(t, "fz", docs)
+	ctx := context.Background()
+
+	const rounds = 120
+	for round := 0; round < rounds; round++ {
+		q := &query.Query{ID: fmt.Sprintf("f%d", round), Base: "fz", Filter: fuzzPredicate(r, 2)}
+		if r.Intn(3) == 0 {
+			agg := &query.Aggregation{Path: fuzzPaths[r.Intn(len(fuzzPaths))]}
+			if r.Intn(2) == 0 {
+				agg.Func = query.Count
+			} else {
+				agg.Func = query.Sum
+			}
+			if r.Intn(2) == 0 {
+				agg.Grouped = true
+				agg.GroupBy = fuzzPaths[r.Intn(len(fuzzPaths))]
+			}
+			q.Agg = agg
+		}
+		var refOut string
+		var refMatched int64
+		var refName string
+		for i, e := range engines {
+			var out bytes.Buffer
+			stats, err := e.Execute(ctx, q, &out)
+			if err != nil {
+				t.Fatalf("round %d: %s executing %s: %v", round, e.Name(), q, err)
+			}
+			got := canonicalise(t, out.String())
+			if i == 0 {
+				refOut, refMatched, refName = got, stats.Matched, e.Name()
+				continue
+			}
+			if stats.Matched != refMatched {
+				t.Fatalf("round %d: %s matched %d, %s matched %d for %s",
+					round, e.Name(), stats.Matched, refName, refMatched, q)
+			}
+			if got != refOut {
+				t.Fatalf("round %d: %s output differs from %s for %s:\n--- got ---\n%.500s\n--- want ---\n%.500s",
+					round, e.Name(), refName, q, got, refOut)
+			}
+		}
+		// Every engine must also agree with the reference evaluator.
+		var evalMatched int64
+		for _, d := range docs {
+			if q.Matches(d) {
+				evalMatched++
+			}
+		}
+		if evalMatched != refMatched {
+			t.Fatalf("round %d: engines matched %d, reference evaluator %d for %s",
+				round, refMatched, evalMatched, q)
+		}
+	}
+}
+
+var _ = engine.ErrUnknownDataset // keep the import if helpers change

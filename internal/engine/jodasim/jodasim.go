@@ -1,0 +1,429 @@
+// Package jodasim is the JODA stand-in: a vertically scalable in-memory
+// JSON processor. Imported datasets are parsed once and kept as value trees;
+// queries run as parallel scans over a configurable worker pool, and every
+// query result is cached per composed predicate so follow-up queries of an
+// exploration session start from the nearest cached ancestor — the
+// delta-tree behaviour the paper credits for JODA's iterative-workload
+// performance. An optional eviction mode drops parsed data after each query
+// and re-parses from the imported bytes, modelling a memory-constrained
+// deployment (Table II's "JODA memory evicted" row).
+package jodasim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Options configures the engine.
+type Options struct {
+	// Threads is the scan worker count; 0 means runtime.NumCPU().
+	Threads int
+	// Evict drops parsed documents after every query, forcing a re-parse
+	// from the imported raw bytes on the next one.
+	Evict bool
+	// DisableCache turns off per-predicate result caching (an ablation
+	// knob; real JODA caches).
+	DisableCache bool
+}
+
+// Engine implements engine.Engine and core.Backend.
+type Engine struct {
+	opts Options
+
+	mu       sync.Mutex
+	base     map[string]*dataset // imported datasets by name
+	derived  map[string][]jsonval.Value
+	cache    map[string][]jsonval.Value // base name + predicate -> matching docs
+	cacheHit int64
+}
+
+type dataset struct {
+	docs []jsonval.Value // nil while evicted
+	raw  []byte          // retained source bytes for eviction mode
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Threads <= 0 {
+		opts.Threads = runtime.NumCPU()
+	}
+	return &Engine{
+		opts:    opts,
+		base:    make(map[string]*dataset),
+		derived: make(map[string][]jsonval.Value),
+		cache:   make(map[string][]jsonval.Value),
+	}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	if e.opts.Evict {
+		return "JODA (evicted)"
+	}
+	return "JODA"
+}
+
+// SetThreads adjusts the worker-pool size (the Fig. 9 sweep).
+func (e *Engine) SetThreads(n int) {
+	if n > 0 {
+		e.opts.Threads = n
+	}
+}
+
+// CacheHits reports how many queries were served from a cached ancestor.
+func (e *Engine) CacheHits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cacheHit
+}
+
+// ImportFile implements engine.Engine: parse once, keep the value trees in
+// memory (and the raw bytes, which back eviction mode).
+func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	start := time.Now()
+	var docs []jsonval.Value
+	n, bytes, err := engine.ReadFile(ctx, path, func(doc jsonval.Value) error {
+		docs = append(docs, doc)
+		return nil
+	})
+	if err != nil {
+		return engine.ImportStats{}, fmt.Errorf("jodasim: importing %s: %w", path, err)
+	}
+	var raw []byte
+	if e.opts.Evict {
+		for _, d := range docs {
+			raw = jsonval.AppendJSON(raw, d)
+			raw = append(raw, '\n')
+		}
+	}
+	e.mu.Lock()
+	e.base[name] = &dataset{docs: docs, raw: raw}
+	e.mu.Unlock()
+	return engine.ImportStats{Docs: n, Bytes: bytes, StoredBytes: bytes, Duration: time.Since(start)}, nil
+}
+
+// ImportValues loads an in-memory document slice as a base dataset.
+func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
+	ds := &dataset{docs: docs}
+	if e.opts.Evict {
+		var raw []byte
+		for _, d := range docs {
+			raw = jsonval.AppendJSON(raw, d)
+			raw = append(raw, '\n')
+		}
+		ds.raw = raw
+	}
+	e.mu.Lock()
+	e.base[name] = ds
+	e.mu.Unlock()
+}
+
+// resolve finds the documents of the query's base dataset together with the
+// residual predicate still to evaluate, reusing the deepest cached ancestor
+// of the composed predicate chain.
+func (e *Engine) resolve(baseName string, filter query.Predicate) ([]jsonval.Value, query.Predicate, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if docs, ok := e.derived[baseName]; ok {
+		return docs, filter, nil
+	}
+	ds, ok := e.base[baseName]
+	if !ok {
+		return nil, nil, engine.UnknownDataset("jodasim", baseName)
+	}
+	if ds.docs == nil {
+		// Evicted: re-parse the retained bytes (the re-read cost of a
+		// memory-limited deployment).
+		docs, err := parseAll(ds.raw, e.opts.Threads)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jodasim: re-parsing evicted dataset %s: %w", baseName, err)
+		}
+		ds.docs = docs
+	}
+	if filter == nil || e.opts.DisableCache {
+		return ds.docs, filter, nil
+	}
+	// Walk the AND-chain from the full predicate towards its prefix,
+	// taking the deepest cached subset.
+	if docs, ok := e.cache[cacheKey(baseName, filter)]; ok {
+		e.cacheHit++
+		return docs, nil, nil
+	}
+	pred := filter
+	var residual query.Predicate
+	for {
+		and, ok := pred.(query.And)
+		if !ok {
+			break
+		}
+		if residual == nil {
+			residual = and.Right
+		} else {
+			residual = query.And{Left: and.Right, Right: residual}
+		}
+		pred = and.Left
+		if docs, ok := e.cache[cacheKey(baseName, pred)]; ok {
+			e.cacheHit++
+			return docs, residual, nil
+		}
+	}
+	return ds.docs, filter, nil
+}
+
+func cacheKey(base string, pred query.Predicate) string {
+	return base + "\x00" + pred.String()
+}
+
+// Execute implements engine.Engine with a parallel filter scan.
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	if err := q.Validate(); err != nil {
+		return engine.ExecStats{}, fmt.Errorf("jodasim: %w", err)
+	}
+	start := time.Now()
+	docs, residual, err := e.resolve(q.Base, q.Filter)
+	if err != nil {
+		return engine.ExecStats{}, err
+	}
+	matched, err := e.scan(ctx, docs, residual)
+	if err != nil {
+		return engine.ExecStats{}, err
+	}
+	stats := engine.ExecStats{Scanned: int64(len(docs)), Matched: int64(len(matched))}
+
+	if q.Filter != nil && !e.opts.DisableCache && !e.opts.Evict {
+		e.mu.Lock()
+		e.cache[cacheKey(q.Base, q.Filter)] = matched
+		e.mu.Unlock()
+	}
+	if q.Transform != nil {
+		transformed := make([]jsonval.Value, len(matched))
+		for i, d := range matched {
+			transformed[i] = q.Transform.Apply(d)
+		}
+		matched = transformed
+	}
+	if q.Store != "" {
+		e.mu.Lock()
+		e.derived[q.Store] = matched
+		e.mu.Unlock()
+	}
+
+	if q.Agg != nil {
+		ret, out, err := engine.RunAggregation(q.Agg, matched, sink)
+		if err != nil {
+			return stats, err
+		}
+		stats.Returned, stats.OutputBytes = ret, out
+	} else {
+		var buf []byte
+		for i, d := range matched {
+			if err := engine.Cancelled(ctx, int64(i)); err != nil {
+				return stats, err
+			}
+			n, err := engine.WriteDoc(sink, &buf, d)
+			if err != nil {
+				return stats, err
+			}
+			stats.Returned++
+			stats.OutputBytes += n
+		}
+	}
+	if e.opts.Evict {
+		e.evictAll()
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// scan filters docs over the worker pool, preserving document order.
+func (e *Engine) scan(ctx context.Context, docs []jsonval.Value, filter query.Predicate) ([]jsonval.Value, error) {
+	if filter == nil {
+		return docs, nil
+	}
+	workers := e.opts.Threads
+	if workers > len(docs) {
+		workers = 1
+	}
+	if workers <= 1 {
+		out := make([]jsonval.Value, 0, len(docs)/4)
+		for i, d := range docs {
+			if err := engine.Cancelled(ctx, int64(i)); err != nil {
+				return nil, err
+			}
+			if filter.Eval(d) {
+				out = append(out, d)
+			}
+		}
+		return out, nil
+	}
+	parts := make([][]jsonval.Value, workers)
+	errs := make([]error, workers)
+	chunk := (len(docs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(docs))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []jsonval.Value
+			for i := lo; i < hi; i++ {
+				if err := engine.Cancelled(ctx, int64(i-lo)); err != nil {
+					errs[w] = err
+					return
+				}
+				if filter.Eval(docs[i]) {
+					out = append(out, docs[i])
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for w := range parts {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		total += len(parts[w])
+	}
+	out := make([]jsonval.Value, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// parseAll re-parses newline-delimited bytes with the worker pool.
+func parseAll(raw []byte, workers int) ([]jsonval.Value, error) {
+	// Find boundaries first, then parse in parallel.
+	var spans [][2]int
+	off := 0
+	for off < len(raw) {
+		n, err := jsonval.ScanValue(raw[off:], true)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		spans = append(spans, [2]int{off, off + n})
+		off += n
+	}
+	docs := make([]jsonval.Value, len(spans))
+	if workers <= 1 || len(spans) < workers {
+		for i, sp := range spans {
+			d, err := jsonval.Parse(trimSpace(raw[sp[0]:sp[1]]))
+			if err != nil {
+				return nil, err
+			}
+			docs[i] = d
+		}
+		return docs, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(spans) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(spans))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				d, err := jsonval.Parse(trimSpace(raw[spans[i][0]:spans[i][1]]))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				docs[i] = d
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return docs, nil
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\n' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 {
+		last := b[len(b)-1]
+		if last == ' ' || last == '\n' || last == '\t' || last == '\r' {
+			b = b[:len(b)-1]
+			continue
+		}
+		break
+	}
+	return b
+}
+
+func (e *Engine) evictAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ds := range e.base {
+		if ds.raw != nil {
+			ds.docs = nil
+		}
+	}
+	e.cache = make(map[string][]jsonval.Value)
+}
+
+// CountMatching implements the generator's verification backend
+// (core.Backend) on top of the same cached scan machinery.
+func (e *Engine) CountMatching(base string, pred query.Predicate) (int64, error) {
+	docs, residual, err := e.resolve(base, pred)
+	if err != nil {
+		return 0, err
+	}
+	matched, err := e.scan(context.Background(), docs, residual)
+	if err != nil {
+		return 0, err
+	}
+	if pred != nil && !e.opts.DisableCache && !e.opts.Evict {
+		e.mu.Lock()
+		e.cache[cacheKey(base, pred)] = matched
+		e.mu.Unlock()
+	}
+	return int64(len(matched)), nil
+}
+
+// Reset implements engine.Engine.
+func (e *Engine) Reset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.derived = make(map[string][]jsonval.Value)
+	e.cache = make(map[string][]jsonval.Value)
+	e.cacheHit = 0
+	return nil
+}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base = nil
+	e.derived = nil
+	e.cache = nil
+	return nil
+}

@@ -1,0 +1,416 @@
+// Package jqsim is the jq stand-in: a command-line-style stream filter with
+// no import phase and no shared state between queries. Every query re-opens
+// the dataset file and re-parses every document from text into generic boxed
+// value trees (encoding/json into interface{}), mirroring jq's jv heap
+// representation — including its use of double-precision floats for every
+// number — and serialises its full result. These per-query parse and
+// allocation costs are the reason the paper concludes that "using jq to
+// explore large sets of JSON files is unfeasible". Stored results become new
+// files in the engine's working directory, which is how jq materialises
+// datasets.
+package jqsim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Engine implements engine.Engine.
+type Engine struct {
+	workdir string
+
+	mu      sync.Mutex
+	files   map[string]string // dataset name -> file path
+	derived map[string]bool
+}
+
+// New returns an engine materialising derived datasets under workdir; an
+// empty workdir uses a fresh temporary directory.
+func New(workdir string) (*Engine, error) {
+	if workdir == "" {
+		dir, err := os.MkdirTemp("", "jqsim-*")
+		if err != nil {
+			return nil, fmt.Errorf("jqsim: %w", err)
+		}
+		workdir = dir
+	}
+	return &Engine{
+		workdir: workdir,
+		files:   make(map[string]string),
+		derived: make(map[string]bool),
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (*Engine) Name() string { return "jq" }
+
+// ImportFile implements engine.Engine. jq has no import: the engine only
+// records where the file lives (constant time, like the paper's setup where
+// jq "operates directly on the input data files").
+func (e *Engine) ImportFile(_ context.Context, name, path string) (engine.ImportStats, error) {
+	start := time.Now()
+	info, err := os.Stat(path)
+	if err != nil {
+		return engine.ImportStats{}, fmt.Errorf("jqsim: %w", err)
+	}
+	e.mu.Lock()
+	e.files[name] = path
+	e.mu.Unlock()
+	return engine.ImportStats{Bytes: info.Size(), StoredBytes: info.Size(), Duration: time.Since(start)}, nil
+}
+
+// Execute implements engine.Engine: stream, parse into boxed values,
+// filter, print.
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	if err := q.Validate(); err != nil {
+		return engine.ExecStats{}, fmt.Errorf("jqsim: %w", err)
+	}
+	start := time.Now()
+	e.mu.Lock()
+	path, ok := e.files[q.Base]
+	e.mu.Unlock()
+	if !ok {
+		return engine.ExecStats{}, engine.UnknownDataset("jqsim", q.Base)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return engine.ExecStats{}, fmt.Errorf("jqsim: %w", err)
+	}
+	defer f.Close()
+
+	var stats engine.ExecStats
+	var agg *query.Aggregator
+	if q.Agg != nil {
+		agg = query.NewAggregator(*q.Agg)
+	}
+	var storeFile *os.File
+	var storeWriter *bufio.Writer
+	if q.Store != "" {
+		storePath := filepath.Join(e.workdir, q.Store+".json")
+		storeFile, err = os.Create(storePath)
+		if err != nil {
+			return stats, fmt.Errorf("jqsim: creating store file: %w", err)
+		}
+		storeWriter = bufio.NewWriter(storeFile)
+		defer storeFile.Close()
+		e.mu.Lock()
+		e.files[q.Store] = storePath
+		e.derived[q.Store] = true
+		e.mu.Unlock()
+	}
+
+	// The aggregation pipelines of the paper run TWO jq processes: the
+	// filter pass prints its matches, and a second slurping instance
+	// re-parses that stream to reduce it. pipeBuf models the pipe between
+	// them — matched documents are serialised here and parsed again below,
+	// which is why jq "benefits from this the least" (Table III).
+	var pipeBuf []byte
+
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 256*1024))
+	var i int64
+	for {
+		if err := engine.Cancelled(ctx, i); err != nil {
+			return stats, err
+		}
+		i++
+		var doc any
+		if err := dec.Decode(&doc); err == io.EOF {
+			break
+		} else if err != nil {
+			return stats, fmt.Errorf("jqsim: parsing %s: %w", path, err)
+		}
+		stats.Scanned++
+		if !evalAny(doc, q.Filter) {
+			continue
+		}
+		stats.Matched++
+		if q.Transform != nil {
+			// jq pipelines restructure the boxed value; model the cost by
+			// rebuilding the tree around the edit.
+			doc = fromValue(q.Transform.Apply(toValue(doc)))
+		}
+		if agg != nil {
+			out, err := json.Marshal(doc)
+			if err != nil {
+				return stats, fmt.Errorf("jqsim: %w", err)
+			}
+			pipeBuf = append(pipeBuf, out...)
+			pipeBuf = append(pipeBuf, '\n')
+			continue
+		}
+		// jq always prints its output (the paper: "jq queries would
+		// always output the whole content over stdout").
+		out, err := json.Marshal(doc)
+		if err != nil {
+			return stats, fmt.Errorf("jqsim: %w", err)
+		}
+		out = append(out, '\n')
+		n, err := sink.Write(out)
+		if err != nil {
+			return stats, err
+		}
+		stats.Returned++
+		stats.OutputBytes += int64(n)
+		if storeWriter != nil {
+			if _, err := storeWriter.Write(out); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if agg != nil {
+		// Second jq instance: slurp the filtered stream and reduce it.
+		slurp := json.NewDecoder(bytes.NewReader(pipeBuf))
+		for {
+			var doc any
+			if err := slurp.Decode(&doc); err == io.EOF {
+				break
+			} else if err != nil {
+				return stats, fmt.Errorf("jqsim: re-parsing pipe: %w", err)
+			}
+			addAny(agg, doc, q.Agg)
+		}
+		var buf []byte
+		for _, row := range agg.Result() {
+			n, err := engine.WriteDoc(sink, &buf, row)
+			if err != nil {
+				return stats, err
+			}
+			stats.Returned++
+			stats.OutputBytes += n
+		}
+	}
+	if storeWriter != nil {
+		if err := storeWriter.Flush(); err != nil {
+			return stats, err
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// lookupAny resolves a path inside a boxed document.
+func lookupAny(doc any, path jsonval.Path) (any, bool) {
+	cur := doc
+	for _, seg := range path.Segments() {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = obj[seg]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// evalAny evaluates the predicate tree over boxed values. Numbers are
+// float64 throughout, like jq's doubles.
+func evalAny(doc any, p query.Predicate) bool {
+	if p == nil {
+		return true
+	}
+	switch n := p.(type) {
+	case query.And:
+		return evalAny(doc, n.Left) && evalAny(doc, n.Right)
+	case query.Or:
+		return evalAny(doc, n.Left) || evalAny(doc, n.Right)
+	case query.Exists:
+		_, ok := lookupAny(doc, n.Path)
+		return ok
+	case query.IsString:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		_, isStr := v.(string)
+		return isStr
+	case query.IntEq:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		f, isNum := v.(float64)
+		return isNum && f == float64(n.Value)
+	case query.FloatCmp:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		f, isNum := v.(float64)
+		if !isNum {
+			return false
+		}
+		switch n.Op {
+		case query.Lt:
+			return f < n.Value
+		case query.Le:
+			return f <= n.Value
+		case query.Gt:
+			return f > n.Value
+		case query.Ge:
+			return f >= n.Value
+		default:
+			return f == n.Value
+		}
+	case query.StrEq:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		s, isStr := v.(string)
+		return isStr && s == n.Value
+	case query.HasPrefix:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		s, isStr := v.(string)
+		return isStr && strings.HasPrefix(s, n.Prefix)
+	case query.BoolEq:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		b, isBool := v.(bool)
+		return isBool && b == n.Value
+	case query.ArrSize:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		arr, isArr := v.([]any)
+		return isArr && cmpInt(n.Op, len(arr), n.Value)
+	case query.ObjSize:
+		v, ok := lookupAny(doc, n.Path)
+		if !ok {
+			return false
+		}
+		obj, isObj := v.(map[string]any)
+		return isObj && cmpInt(n.Op, len(obj), n.Value)
+	default:
+		return false
+	}
+}
+
+func cmpInt(op query.CmpOp, a, b int) bool {
+	switch op {
+	case query.Lt:
+		return a < b
+	case query.Le:
+		return a <= b
+	case query.Gt:
+		return a > b
+	case query.Ge:
+		return a >= b
+	case query.Eq:
+		return a == b
+	default:
+		return false
+	}
+}
+
+// addAny folds a boxed document into the aggregation, converting only the
+// referenced attributes.
+func addAny(agg *query.Aggregator, doc any, spec *query.Aggregation) {
+	v, vok := lookupAny(doc, spec.Path)
+	var g any
+	var gok bool
+	if spec.Grouped {
+		g, gok = lookupAny(doc, spec.GroupBy)
+	}
+	agg.AddValues(toValue(v), vok, toValue(g), gok)
+}
+
+// toValue converts a boxed value into the typed model for aggregation.
+// Numbers stay floats — jq computes in doubles.
+func toValue(v any) jsonval.Value {
+	switch t := v.(type) {
+	case nil:
+		return jsonval.NullValue()
+	case bool:
+		return jsonval.BoolValue(t)
+	case float64:
+		return jsonval.FloatValue(t)
+	case string:
+		return jsonval.StringValue(t)
+	case []any:
+		elems := make([]jsonval.Value, len(t))
+		for i, e := range t {
+			elems[i] = toValue(e)
+		}
+		return jsonval.ArrayValue(elems...)
+	case map[string]any:
+		members := make([]jsonval.Member, 0, len(t))
+		for k, e := range t {
+			members = append(members, jsonval.Member{Key: k, Value: toValue(e)})
+		}
+		return jsonval.ObjectValue(members...)
+	default:
+		return jsonval.NullValue()
+	}
+}
+
+// fromValue converts a typed value back into the boxed representation.
+func fromValue(v jsonval.Value) any {
+	switch v.Kind() {
+	case jsonval.Null:
+		return nil
+	case jsonval.Bool:
+		return v.Bool()
+	case jsonval.Int:
+		return float64(v.Int()) // jq numbers are doubles
+	case jsonval.Float:
+		return v.Float()
+	case jsonval.String:
+		return v.Str()
+	case jsonval.Array:
+		out := make([]any, v.Len())
+		for i, e := range v.Array() {
+			out[i] = fromValue(e)
+		}
+		return out
+	case jsonval.Object:
+		out := make(map[string]any, v.Len())
+		for _, m := range v.Members() {
+			out[m.Key] = fromValue(m.Value)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Reset implements engine.Engine: derived files are removed.
+func (e *Engine) Reset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name := range e.derived {
+		os.Remove(e.files[name])
+		delete(e.files, name)
+	}
+	e.derived = make(map[string]bool)
+	return nil
+}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	err := e.Reset()
+	e.mu.Lock()
+	e.files = nil
+	e.mu.Unlock()
+	return err
+}

@@ -1,0 +1,452 @@
+// Package mongosim is the MongoDB stand-in: documents are converted to a
+// BSON-like binary format at import and stored in flate-compressed blocks,
+// mirroring WiredTiger's default block compression. Query evaluation is
+// single-threaded and navigates the binary documents lazily along the
+// queried paths without materialising them — the access pattern that keeps
+// MongoDB competitive on large nested documents (Twitter) while the per-
+// document block-decompression overhead dominates on many small shallow
+// ones (NoBench), reproducing the paper's MongoDB/PostgreSQL crossover.
+package mongosim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/bsonlite"
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/lz"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// DefaultBlockSize is the uncompressed target size of a storage block.
+const DefaultBlockSize = 64 * 1024
+
+// Options configures the engine.
+type Options struct {
+	// BlockSize is the uncompressed block target in bytes; 0 means
+	// DefaultBlockSize.
+	BlockSize int
+	// DisableCompression stores blocks uncompressed (ablation knob).
+	DisableCompression bool
+	// FullDecode materialises every document instead of lazy path walks
+	// (ablation knob).
+	FullDecode bool
+}
+
+// Engine implements engine.Engine.
+type Engine struct {
+	opts Options
+
+	mu          sync.Mutex
+	collections map[string]*collection
+	derivedKeys map[string]bool
+}
+
+// collection stores BSON documents in compressed blocks.
+type collection struct {
+	blocks []block
+	docs   int64
+}
+
+type block struct {
+	data       []byte // compressed unless the engine disables compression
+	compressed bool
+	docCount   int
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	return &Engine{
+		opts:        opts,
+		collections: make(map[string]*collection),
+		derivedKeys: make(map[string]bool),
+	}
+}
+
+// Name implements engine.Engine.
+func (*Engine) Name() string { return "MongoDB" }
+
+// blockWriter accumulates BSON documents and seals blocks at the target
+// size.
+type blockWriter struct {
+	opts Options
+	coll *collection
+	buf  []byte
+	n    int
+}
+
+func (w *blockWriter) add(doc jsonval.Value) {
+	w.buf = bsonlite.Encode(w.buf, doc)
+	w.n++
+	w.coll.docs++
+	if len(w.buf) >= w.opts.BlockSize {
+		w.seal()
+	}
+}
+
+func (w *blockWriter) seal() {
+	if w.n == 0 {
+		return
+	}
+	b := block{docCount: w.n}
+	if w.opts.DisableCompression {
+		b.data = append([]byte(nil), w.buf...)
+	} else {
+		b.data = lz.Compress(nil, w.buf)
+		b.compressed = true
+	}
+	w.coll.blocks = append(w.coll.blocks, b)
+	w.buf = w.buf[:0]
+	w.n = 0
+}
+
+// ImportFile implements engine.Engine.
+func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	start := time.Now()
+	coll := &collection{}
+	w := &blockWriter{opts: e.opts, coll: coll}
+	docs, rawBytes, err := engine.ReadFile(ctx, path, func(doc jsonval.Value) error {
+		w.add(doc)
+		return nil
+	})
+	if err != nil {
+		return engine.ImportStats{}, fmt.Errorf("mongosim: importing %s: %w", path, err)
+	}
+	w.seal()
+	e.mu.Lock()
+	e.collections[name] = coll
+	e.mu.Unlock()
+	var stored int64
+	for _, b := range coll.blocks {
+		stored += int64(len(b.data))
+	}
+	return engine.ImportStats{Docs: docs, Bytes: rawBytes, StoredBytes: stored, Duration: time.Since(start)}, nil
+}
+
+// ImportValues loads an in-memory document slice as a collection.
+func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
+	coll := &collection{}
+	w := &blockWriter{opts: e.opts, coll: coll}
+	for _, d := range docs {
+		w.add(d)
+	}
+	w.seal()
+	e.mu.Lock()
+	e.collections[name] = coll
+	e.mu.Unlock()
+}
+
+// open restores a block's BSON byte stream, decompressing per access as
+// the storage engine does per block read.
+func (b block) open() ([]byte, error) {
+	if !b.compressed {
+		return b.data, nil
+	}
+	return lz.Decompress(nil, b.data)
+}
+
+// Execute implements engine.Engine: a single-threaded block scan with lazy
+// per-leaf path navigation.
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	if err := q.Validate(); err != nil {
+		return engine.ExecStats{}, fmt.Errorf("mongosim: %w", err)
+	}
+	start := time.Now()
+	e.mu.Lock()
+	coll, ok := e.collections[q.Base]
+	e.mu.Unlock()
+	if !ok {
+		return engine.ExecStats{}, engine.UnknownDataset("mongosim", q.Base)
+	}
+
+	var stats engine.ExecStats
+	var agg *query.Aggregator
+	if q.Agg != nil {
+		agg = query.NewAggregator(*q.Agg)
+	}
+	var storeWriter *blockWriter
+	var storeColl *collection
+	if q.Store != "" {
+		storeColl = &collection{}
+		storeWriter = &blockWriter{opts: e.opts, coll: storeColl}
+	}
+
+	var outBuf []byte
+	var i int64
+	for _, b := range coll.blocks {
+		raw, err := b.open()
+		if err != nil {
+			return stats, fmt.Errorf("mongosim: opening block: %w", err)
+		}
+		off := 0
+		for off < len(raw) {
+			if err := engine.Cancelled(ctx, i); err != nil {
+				return stats, err
+			}
+			i++
+			docLen, err := docLength(raw[off:])
+			if err != nil {
+				return stats, err
+			}
+			doc := raw[off : off+docLen]
+			off += docLen
+			stats.Scanned++
+			var match bool
+			if e.opts.FullDecode {
+				v, derr := bsonlite.Decode(doc)
+				if derr != nil {
+					return stats, fmt.Errorf("mongosim: decoding document: %w", derr)
+				}
+				match = q.Matches(v)
+			} else {
+				match, err = evalFilter(doc, q.Filter)
+				if err != nil {
+					return stats, err
+				}
+			}
+			if !match {
+				continue
+			}
+			stats.Matched++
+			switch {
+			case agg != nil && q.Transform == nil:
+				if err := addLazy(agg, doc, q.Agg); err != nil {
+					return stats, err
+				}
+			case agg != nil:
+				// Transform stages force materialisation, as $set/$unset
+				// pipelines do.
+				v, err := e.materialise(doc, q)
+				if err != nil {
+					return stats, err
+				}
+				agg.Add(q.ApplyTransform(v))
+			default:
+				v, err := e.materialise(doc, q)
+				if err != nil {
+					return stats, err
+				}
+				v = q.ApplyTransform(v)
+				if storeWriter != nil {
+					storeWriter.add(v)
+				}
+				n, err := engine.WriteDoc(sink, &outBuf, v)
+				if err != nil {
+					return stats, err
+				}
+				stats.Returned++
+				stats.OutputBytes += n
+			}
+		}
+	}
+	if agg != nil {
+		var buf []byte
+		for _, row := range agg.Result() {
+			n, err := engine.WriteDoc(sink, &buf, row)
+			if err != nil {
+				return stats, err
+			}
+			stats.Returned++
+			stats.OutputBytes += n
+		}
+	}
+	if storeWriter != nil {
+		storeWriter.seal()
+		e.mu.Lock()
+		e.collections[q.Store] = storeColl
+		e.derivedKeys[q.Store] = true
+		e.mu.Unlock()
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// materialise decodes a full document (cursor output or store path).
+func (e *Engine) materialise(doc []byte, _ *query.Query) (jsonval.Value, error) {
+	v, err := bsonlite.Decode(doc)
+	if err != nil {
+		return jsonval.Value{}, fmt.Errorf("mongosim: decoding document: %w", err)
+	}
+	return v, nil
+}
+
+// addLazy folds a matching raw document into the aggregation, materialising
+// only the referenced attributes (the $group projection path).
+func addLazy(agg *query.Aggregator, doc []byte, spec *query.Aggregation) error {
+	var v jsonval.Value
+	var vok bool
+	if raw, ok, err := bsonlite.Lookup(doc, spec.Path); err != nil {
+		return err
+	} else if ok {
+		if spec.Func == query.Count {
+			// COUNT only needs existence, not the value.
+			vok = true
+		} else {
+			val, err := raw.Value()
+			if err != nil {
+				return err
+			}
+			v, vok = val, true
+		}
+	}
+	var g jsonval.Value
+	var gok bool
+	if spec.Grouped {
+		if raw, ok, err := bsonlite.Lookup(doc, spec.GroupBy); err != nil {
+			return err
+		} else if ok {
+			val, err := raw.Value()
+			if err != nil {
+				return err
+			}
+			g, gok = val, true
+		}
+	}
+	agg.AddValues(v, vok, g, gok)
+	return nil
+}
+
+// docLength reads the header length of the BSON document at the front of
+// raw.
+func docLength(raw []byte) (int, error) {
+	if len(raw) < 5 {
+		return 0, fmt.Errorf("mongosim: truncated document header")
+	}
+	n := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
+	if n < 5 || n > len(raw) {
+		return 0, fmt.Errorf("mongosim: document length %d out of bounds", n)
+	}
+	return n, nil
+}
+
+// evalFilter evaluates the predicate tree over the raw BSON document with
+// per-leaf lazy path lookups.
+func evalFilter(doc []byte, p query.Predicate) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	switch n := p.(type) {
+	case query.And:
+		l, err := evalFilter(doc, n.Left)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalFilter(doc, n.Right)
+	case query.Or:
+		l, err := evalFilter(doc, n.Left)
+		if err != nil || l {
+			return l, err
+		}
+		return evalFilter(doc, n.Right)
+	case query.Exists:
+		_, ok, err := bsonlite.Lookup(doc, n.Path)
+		return ok, err
+	case query.IsString:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		return ok && err == nil && raw.Kind() == jsonval.String, err
+	case query.IntEq:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok {
+			return false, err
+		}
+		num, isNum := raw.Number()
+		return isNum && num == float64(n.Value), nil
+	case query.FloatCmp:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok {
+			return false, err
+		}
+		num, isNum := raw.Number()
+		return isNum && cmpHolds(n.Op, num, n.Value), nil
+	case query.StrEq:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok {
+			return false, err
+		}
+		s, isStr := raw.Str()
+		return isStr && s == n.Value, nil
+	case query.HasPrefix:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok {
+			return false, err
+		}
+		s, isStr := raw.Str()
+		return isStr && len(s) >= len(n.Prefix) && s[:len(n.Prefix)] == n.Prefix, nil
+	case query.BoolEq:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok {
+			return false, err
+		}
+		b, isBool := raw.Bool()
+		return isBool && b == n.Value, nil
+	case query.ArrSize:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok || raw.Kind() != jsonval.Array {
+			return false, err
+		}
+		l, lok := raw.Len()
+		return lok && cmpHoldsInt(n.Op, l, n.Value), nil
+	case query.ObjSize:
+		raw, ok, err := bsonlite.Lookup(doc, n.Path)
+		if err != nil || !ok || raw.Kind() != jsonval.Object {
+			return false, err
+		}
+		l, lok := raw.Len()
+		return lok && cmpHoldsInt(n.Op, l, n.Value), nil
+	default:
+		// Unknown node types fall back to materialised evaluation.
+		v, err := bsonlite.Decode(doc)
+		if err != nil {
+			return false, err
+		}
+		return p.Eval(v), nil
+	}
+}
+
+func cmpHolds(op query.CmpOp, a, b float64) bool {
+	switch op {
+	case query.Lt:
+		return a < b
+	case query.Le:
+		return a <= b
+	case query.Gt:
+		return a > b
+	case query.Ge:
+		return a >= b
+	case query.Eq:
+		return a == b
+	default:
+		return false
+	}
+}
+
+func cmpHoldsInt(op query.CmpOp, a, b int) bool {
+	return cmpHolds(op, float64(a), float64(b))
+}
+
+// Reset implements engine.Engine.
+func (e *Engine) Reset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name := range e.derivedKeys {
+		delete(e.collections, name)
+	}
+	e.derivedKeys = make(map[string]bool)
+	return nil
+}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.collections = nil
+	e.derivedKeys = nil
+	return nil
+}

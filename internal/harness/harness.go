@@ -1,0 +1,335 @@
+// Package harness reproduces the paper's evaluation (§VI): it prepares the
+// scaled-down synthetic datasets, generates sessions with the core
+// generator, executes them on the four engines, and renders every figure
+// and table of the paper as text. DESIGN.md carries the experiment index;
+// EXPERIMENTS.md records paper-vs-measured values.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/joda-explore/betze/internal/analyze"
+	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/datasets"
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/engine/jqsim"
+	"github.com/joda-explore/betze/internal/engine/mongosim"
+	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/jsonstats"
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// Config scales the reproduction. The zero value gives a laptop-sized run
+// of every experiment; the paper's scales are noted per field.
+type Config struct {
+	// Dir is where dataset files and derived artifacts live; empty means
+	// a temporary directory owned by the Env.
+	Dir string
+	// TwitterDocs scales the Twitter-like dataset (paper: 29.6 M docs /
+	// 109 GB). Default 8000.
+	TwitterDocs int
+	// NoBenchDocs scales the default NoBench dataset (paper: 10 M for
+	// Table II). Default 20000.
+	NoBenchDocs int
+	// NoBenchSweep are the document counts of the Fig. 10 scalability
+	// sweep (paper: 10⁴…10⁸ at ~5.5 MB…30 GB). Default 1k/10k/50k/200k.
+	NoBenchSweep []int
+	// RedditDocs scales the Reddit dataset (paper: 53.9 M docs / 30 GB).
+	// Default 20000.
+	RedditDocs int
+	// Sessions is the per-configuration session count of the
+	// benchmark-centric experiments (paper: 30). Default 10.
+	Sessions int
+	// GridSessions is the per-cell session count of the Fig. 7 α/β grid
+	// (paper: 20). Default 3.
+	GridSessions int
+	// Threads is the Fig. 9 sweep (paper: 4…60 in steps of 4). Default
+	// 1, 2, 4, … up to runtime.NumCPU().
+	Threads []int
+	// Timeout bounds one session execution per engine (paper: 2 h in
+	// Fig. 10, 8 h in Table III). Default 2 minutes.
+	Timeout time.Duration
+	// Seed is the base seed; experiment i uses Seed+i-style offsets.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TwitterDocs <= 0 {
+		c.TwitterDocs = 8000
+	}
+	if c.NoBenchDocs <= 0 {
+		c.NoBenchDocs = 20000
+	}
+	if len(c.NoBenchSweep) == 0 {
+		c.NoBenchSweep = []int{1000, 10000, 100000}
+	}
+	if c.RedditDocs <= 0 {
+		c.RedditDocs = 20000
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 10
+	}
+	if c.GridSessions <= 0 {
+		c.GridSessions = 3
+	}
+	if len(c.Threads) == 0 {
+		// Sweep to at least 4 workers so the table has shape even on
+		// small machines; real speedup of course needs real cores.
+		limit := max(4, runtime.NumCPU())
+		for t := 1; t <= limit; t *= 2 {
+			c.Threads = append(c.Threads, t)
+		}
+		if last := c.Threads[len(c.Threads)-1]; last != runtime.NumCPU() && runtime.NumCPU() > limit {
+			c.Threads = append(c.Threads, runtime.NumCPU())
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 123 // the paper's favourite seed
+	}
+	return c
+}
+
+// Env prepares and caches datasets, their analysis summaries, and the
+// generation backend across experiments.
+type Env struct {
+	Cfg Config
+
+	dir     string
+	ownsDir bool
+	sets    map[string]*datasetEnv
+}
+
+// datasetEnv is one materialised dataset.
+type datasetEnv struct {
+	name  string
+	file  string
+	docs  []jsonval.Value
+	stats *jsonstats.Dataset
+	// backend verifies generated selectivities (a cached jodasim).
+	backend *jodasim.Engine
+	// analysis records how long the analyzer ran (for the §VI-A
+	// generation-cost report).
+	analysis time.Duration
+}
+
+// NewEnv creates an experiment environment.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	env := &Env{Cfg: cfg, sets: make(map[string]*datasetEnv)}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "betze-bench-*")
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		env.dir = dir
+		env.ownsDir = true
+	} else {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		env.dir = cfg.Dir
+	}
+	return env, nil
+}
+
+// Close removes owned artifacts.
+func (e *Env) Close() error {
+	for _, ds := range e.sets {
+		if ds.backend != nil {
+			ds.backend.Close()
+		}
+	}
+	if e.ownsDir {
+		return os.RemoveAll(e.dir)
+	}
+	return nil
+}
+
+// dataset materialises a dataset once and caches it under key.
+func (e *Env) dataset(key string, src datasets.Source, n int, seed int64) (*datasetEnv, error) {
+	if ds, ok := e.sets[key]; ok {
+		return ds, nil
+	}
+	docs := src.Generate(n, seed)
+	file := filepath.Join(e.dir, key+".json")
+	if err := writeDocs(file, docs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats := analyze.Values(src.Name, docs, analyze.Options{})
+	analysis := time.Since(start)
+	backend := jodasim.New(jodasim.Options{})
+	backend.ImportValues(src.Name, docs)
+	ds := &datasetEnv{
+		name:     src.Name,
+		file:     file,
+		docs:     docs,
+		stats:    stats,
+		backend:  backend,
+		analysis: analysis,
+	}
+	e.sets[key] = ds
+	return ds, nil
+}
+
+func writeDocs(path string, docs []jsonval.Value) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	var buf []byte
+	for _, d := range docs {
+		buf = jsonval.AppendJSON(buf[:0], d)
+		buf = append(buf, '\n')
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return fmt.Errorf("harness: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// Twitter returns the Twitter-like dataset environment.
+func (e *Env) Twitter() (*datasetEnv, error) {
+	return e.dataset("twitter", datasets.NewTwitter(), e.Cfg.TwitterDocs, e.Cfg.Seed)
+}
+
+// NoBench returns a NoBench dataset environment with n documents.
+func (e *Env) NoBench(n int) (*datasetEnv, error) {
+	return e.dataset(fmt.Sprintf("nobench_%d", n), datasets.NewNoBench(), n, e.Cfg.Seed)
+}
+
+// ReleaseNoBench drops a sweep-size NoBench dataset from the cache so large
+// Fig. 10 sweeps do not accumulate resident document sets.
+func (e *Env) ReleaseNoBench(n int) {
+	key := fmt.Sprintf("nobench_%d", n)
+	if ds, ok := e.sets[key]; ok {
+		if ds.backend != nil {
+			ds.backend.Close()
+		}
+		delete(e.sets, key)
+	}
+}
+
+// Reddit returns the Reddit-like dataset environment. The U+0000 fraction
+// is sized so even small runs contain the bodies that break PostgreSQL's
+// import (Table III).
+func (e *Env) Reddit() (*datasetEnv, error) {
+	src := datasets.NewReddit(datasets.RedditOptions{NullByteFraction: 0.002})
+	return e.dataset("reddit", src, e.Cfg.RedditDocs, e.Cfg.Seed)
+}
+
+// generate builds one session over the dataset using its verification
+// backend.
+func (ds *datasetEnv) generate(opts core.Options) (*core.Session, error) {
+	if opts.Backend == nil {
+		opts.Backend = ds.backend
+	}
+	return core.Generate(opts, ds.stats)
+}
+
+// engineSpec names an engine constructor so experiments can instantiate
+// fresh, cache-cold engines per measurement.
+type engineSpec struct {
+	name string
+	make func(dir string) (engine.Engine, error)
+}
+
+func jodaSpec(threads int) engineSpec {
+	return engineSpec{name: "JODA", make: func(string) (engine.Engine, error) {
+		return jodasim.New(jodasim.Options{Threads: threads}), nil
+	}}
+}
+
+func jodaEvictSpec() engineSpec {
+	return engineSpec{name: "JODA memory evicted", make: func(string) (engine.Engine, error) {
+		return jodasim.New(jodasim.Options{Evict: true}), nil
+	}}
+}
+
+func mongoSpec() engineSpec {
+	return engineSpec{name: "MongoDB", make: func(string) (engine.Engine, error) {
+		return mongosim.New(mongosim.Options{}), nil
+	}}
+}
+
+func pgSpec() engineSpec {
+	return engineSpec{name: "PostgreSQL", make: func(string) (engine.Engine, error) {
+		return pgsim.New(pgsim.Options{}), nil
+	}}
+}
+
+func jqSpec() engineSpec {
+	return engineSpec{name: "jq", make: func(dir string) (engine.Engine, error) {
+		return jqsim.New(dir)
+	}}
+}
+
+// systemSpecs is the paper's engine line-up.
+func systemSpecs(threads int) []engineSpec {
+	return []engineSpec{jodaSpec(threads), mongoSpec(), pgSpec(), jqSpec()}
+}
+
+// SessionResult reports one session execution on one engine.
+type SessionResult struct {
+	Engine     string
+	Import     engine.ImportStats
+	QueryTimes []time.Duration
+	// Total is the sum of query times (the paper's "w/o import").
+	Total time.Duration
+	// Wall includes the import (the paper's wall clock time).
+	Wall time.Duration
+	// TimedOut is set when the session hit the configured timeout; Total
+	// then covers the completed queries only.
+	TimedOut bool
+	// ImportErr reports a failed import (PostgreSQL on Reddit).
+	ImportErr error
+	// Err reports an execution failure other than the timeout.
+	Err error
+}
+
+// runSession imports the dataset into a fresh engine and executes every
+// query of the session, honouring the configured timeout.
+func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) SessionResult {
+	res := SessionResult{Engine: spec.name}
+	eng, err := spec.make(e.dir)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
+	defer cancel()
+
+	imp, err := eng.ImportFile(ctx, ds.name, ds.file)
+	if err != nil {
+		res.ImportErr = err
+		return res
+	}
+	res.Import = imp
+	for _, q := range s.Queries {
+		stats, err := eng.Execute(ctx, q, io.Discard)
+		if ctx.Err() != nil {
+			res.TimedOut = true
+			break
+		}
+		if err != nil {
+			res.Err = fmt.Errorf("%s on %s: %w", q.ID, spec.name, err)
+			break
+		}
+		res.QueryTimes = append(res.QueryTimes, stats.Duration)
+		res.Total += stats.Duration
+	}
+	res.Wall = res.Total + imp.Duration
+	return res
+}

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/core"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig(t *testing.T) Config {
+	return Config{
+		Dir:          t.TempDir(),
+		TwitterDocs:  600,
+		NoBenchDocs:  600,
+		NoBenchSweep: []int{200, 400},
+		RedditDocs:   600,
+		Sessions:     2,
+		GridSessions: 1,
+		Threads:      []int{1, 2},
+		Timeout:      30 * time.Second,
+		Seed:         123,
+	}
+}
+
+func newTinyEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.Close() })
+	return env
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0s"},
+		{500 * time.Microsecond, "0.5ms"},
+		{250 * time.Millisecond, "250ms"},
+		{2400 * time.Millisecond, "2.4s"},
+		{32 * time.Second, "32s"},
+		{74 * time.Second, "1.23m"},
+		{19*time.Minute + 20*time.Second, "19.3m"},
+		{66 * time.Minute, "1.1h"},
+		{8 * time.Hour, "8h"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	samples := []time.Duration{5, 1, 3, 2, 4}
+	b := box(samples)
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("box = %+v", b)
+	}
+	if z := box(nil); z.Min != 0 || z.Max != 0 {
+		t.Errorf("empty box = %+v", z)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, exp := range exps {
+		if exp.ID == "" || exp.Title == "" || exp.Run == nil {
+			t.Errorf("experiment %+v incomplete", exp.ID)
+		}
+		if seen[exp.ID] {
+			t.Errorf("duplicate experiment id %s", exp.ID)
+		}
+		seen[exp.ID] = true
+		if _, err := ByID(exp.ID); err != nil {
+			t.Errorf("ByID(%s): %v", exp.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Errorf("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale full sweep still takes a few seconds")
+	}
+	env := newTinyEnv(t)
+	checks := map[string][]string{
+		"table1": {"novice", "0.50", "0.30", "20", "expert", "0.05"},
+		"fig5":   {"q1", "q20", "novice", "intermediate", "expert"},
+		"fig6":   {"median", "novice", "expert"},
+		"fig7":   {"0.9", "-", "alpha"},
+		"fig8":   {"Twitter", "NoBench", "Reddit"},
+		"fig9":   {"threads", "JODA", "MongoDB", "PostgreSQL", "jq"},
+		"fig10":  {"documents", "200", "400"},
+		"table2": {"JODA memory evicted", "Twitter", "NoBench"},
+		"table3": {"nov-Default", "exp-GAgg", "load failed"},
+		"table4": {"path depth", "documents", "queries default", "queries weighted paths"},
+		"gencost": {
+			"dataset analysis time", "query generation time",
+		},
+		"skew":      {"top-10", "top-20", "references"},
+		"multiuser": {"concurrent users", "queries/s", "8"},
+	}
+	for _, exp := range Experiments() {
+		out, err := exp.Run(env)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		if out == "" {
+			t.Fatalf("%s produced no output", exp.ID)
+		}
+		for _, frag := range checks[exp.ID] {
+			if !strings.Contains(out, frag) {
+				t.Errorf("%s output missing %q:\n%s", exp.ID, frag, out)
+			}
+		}
+		t.Logf("%s:\n%s", exp.Title, out)
+	}
+}
+
+func TestRunSessionTimeout(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Timeout = time.Nanosecond
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	ds, err := env.Twitter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := ds.generate(core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := env.runSession(jodaSpec(0), ds, sess)
+	if !res.TimedOut && res.ImportErr == nil {
+		t.Errorf("nanosecond timeout did not trip: %+v", res)
+	}
+	if res.cell() != "-" && res.ImportErr == nil {
+		t.Errorf("timeout cell = %q", res.cell())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.TwitterDocs != 8000 || cfg.NoBenchDocs != 20000 || cfg.RedditDocs != 20000 {
+		t.Errorf("dataset defaults: %+v", cfg)
+	}
+	if len(cfg.NoBenchSweep) == 0 || cfg.Sessions != 10 || cfg.GridSessions != 3 {
+		t.Errorf("run defaults: %+v", cfg)
+	}
+	if len(cfg.Threads) < 3 || cfg.Threads[0] != 1 {
+		t.Errorf("thread sweep: %v", cfg.Threads)
+	}
+	if cfg.Timeout != 2*time.Minute || cfg.Seed != 123 {
+		t.Errorf("timeout/seed defaults: %v/%d", cfg.Timeout, cfg.Seed)
+	}
+	// Explicit values survive.
+	c2 := Config{TwitterDocs: 5, Sessions: 1, Seed: 9}.withDefaults()
+	if c2.TwitterDocs != 5 || c2.Sessions != 1 || c2.Seed != 9 {
+		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+func TestNewEnvOwnedAndExplicitDirs(t *testing.T) {
+	env, err := NewEnv(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := env.dir
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("owned temp dir not removed: %v", err)
+	}
+	explicit := filepath.Join(t.TempDir(), "bench")
+	env2, err := NewEnv(Config{Dir: explicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(explicit); err != nil {
+		t.Errorf("explicit dir removed on Close: %v", err)
+	}
+}
+
+func TestResultCellRendering(t *testing.T) {
+	cases := []struct {
+		res  SessionResult
+		want string
+	}{
+		{SessionResult{Total: 2 * time.Second}, "2s"},
+		{SessionResult{TimedOut: true}, "-"},
+		{SessionResult{ImportErr: os.ErrNotExist}, "load failed"},
+		{SessionResult{Err: os.ErrInvalid}, "error"},
+	}
+	for _, c := range cases {
+		if got := c.res.cell(); got != c.want {
+			t.Errorf("cell(%+v) = %q, want %q", c.res, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if percent(1, 4) != "25.0%" || percent(0, 0) != "0.0%" {
+		t.Errorf("percent rendering: %s / %s", percent(1, 4), percent(0, 0))
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+)
+
+// MultiUser evaluates concurrent exploration sessions against a single
+// shared JODA instance — the multi-user evaluation §III of the paper
+// sketches ("we could generate multiple sessions and execute them
+// simultaneously. Using different configurations for different sessions is
+// also possible."). For each concurrency level it runs a mixed population
+// (novice/intermediate/expert round-robin) and reports wall time, total
+// queries and throughput.
+func MultiUser(e *Env) (string, error) {
+	ds, err := e.Twitter()
+	if err != nil {
+		return "", err
+	}
+	levels := []int{1, 2, 4, 8}
+	presets := core.Presets()
+
+	var rows [][]string
+	for _, users := range levels {
+		sessions := make([]*core.Session, users)
+		for u := 0; u < users; u++ {
+			sess, err := ds.generate(core.Options{
+				Preset: presets[u%len(presets)],
+				Seed:   e.Cfg.Seed + int64(100+u),
+			})
+			if err != nil {
+				return "", fmt.Errorf("multiuser: %w", err)
+			}
+			sessions[u] = sess
+		}
+		eng := jodasim.New(jodasim.Options{})
+		eng.ImportValues(ds.name, ds.docs)
+
+		ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, users)
+		queries := 0
+		for u, sess := range sessions {
+			queries += len(sess.Queries)
+			wg.Add(1)
+			go func(u int, sess *core.Session) {
+				defer wg.Done()
+				for _, q := range sess.Queries {
+					if _, err := eng.Execute(ctx, q, io.Discard); err != nil {
+						errs[u] = err
+						return
+					}
+				}
+			}(u, sess)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		cancel()
+		eng.Close()
+		for _, err := range errs {
+			if err != nil {
+				return "", fmt.Errorf("multiuser (%d users): %w", users, err)
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", users),
+			fmt.Sprintf("%d", queries),
+			FormatDuration(wall),
+			fmt.Sprintf("%.0f", float64(queries)/wall.Seconds()),
+		})
+	}
+	out := table([]string{"concurrent users", "queries", "wall time", "queries/s"}, rows)
+	out += "(mixed novice/intermediate/expert population on one shared JODA instance)\n"
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// FormatDuration renders durations the way the paper's tables do: seconds
+// below a minute ("32s", "2.4s"), minutes below an hour ("19.3m"), hours
+// beyond ("1.1h").
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0s"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2gms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.3gms", float64(d)/float64(time.Millisecond))
+	case d < time.Minute:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.3gm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.3gh", d.Hours())
+	}
+}
+
+// cell renders one result cell: a duration, the paper's dash for timeouts,
+// or a load failure.
+func (r SessionResult) cell() string {
+	switch {
+	case r.ImportErr != nil:
+		return "load failed"
+	case r.Err != nil:
+		return "error"
+	case r.TimedOut:
+		return "-"
+	default:
+		return FormatDuration(r.Total)
+	}
+}
+
+// table renders rows with tab alignment.
+func table(header []string, rows [][]string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	fmt.Fprintln(w, strings.Repeat("-", 4+8*len(header)))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// boxStats summarises a sample: min, first quartile, median, third
+// quartile, max (the Fig. 6 box plot numbers).
+type boxStats struct {
+	Min, Q1, Median, Q3, Max time.Duration
+}
+
+func box(samples []time.Duration) boxStats {
+	if len(samples) == 0 {
+		return boxStats{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(f float64) time.Duration {
+		idx := f * float64(len(s)-1)
+		lo := int(idx)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := idx - float64(lo)
+		return s[lo] + time.Duration(frac*float64(s[lo+1]-s[lo]))
+	}
+	return boxStats{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1]}
+}
+
+func percent(part, whole int64) string {
+	if whole == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}

@@ -1,0 +1,275 @@
+// Package jsonblite implements a JSONB-style binary document format used by
+// the PostgreSQL stand-in engine (internal/engine/pgsim): objects store
+// their keys sorted with a fixed-size offset index (enabling binary search,
+// like PostgreSQL's JEntry arrays), and strings reject embedded U+0000,
+// exactly the restriction that makes real PostgreSQL refuse such documents
+// ("unsupported Unicode escape sequence").
+package jsonblite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// Value tags.
+const (
+	tagNull   = 0x00
+	tagFalse  = 0x01
+	tagTrue   = 0x02
+	tagInt    = 0x03
+	tagFloat  = 0x04
+	tagString = 0x05
+	tagArray  = 0x06
+	tagObject = 0x07
+)
+
+// ErrNullByte reports a string containing U+0000, which the format (like
+// PostgreSQL's jsonb) cannot store.
+var ErrNullByte = fmt.Errorf("jsonblite: unsupported Unicode escape sequence: \\u0000 cannot be converted to text")
+
+// CorruptError reports a structurally invalid document.
+type CorruptError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("jsonblite: corrupt document at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Encode appends the binary encoding of v to dst. It fails with ErrNullByte
+// when any string contains U+0000.
+func Encode(dst []byte, v jsonval.Value) ([]byte, error) {
+	switch v.Kind() {
+	case jsonval.Null:
+		return append(dst, tagNull), nil
+	case jsonval.Bool:
+		if v.Bool() {
+			return append(dst, tagTrue), nil
+		}
+		return append(dst, tagFalse), nil
+	case jsonval.Int:
+		dst = append(dst, tagInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.Int())), nil
+	case jsonval.Float:
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float())), nil
+	case jsonval.String:
+		s := v.Str()
+		if strings.IndexByte(s, 0) >= 0 {
+			return nil, ErrNullByte
+		}
+		dst = append(dst, tagString)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+		return append(dst, s...), nil
+	case jsonval.Array:
+		elems := v.Array()
+		dst = append(dst, tagArray)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(elems)))
+		// Fixed-size offset index, then the encoded elements.
+		idxStart := len(dst)
+		dst = append(dst, make([]byte, 4*len(elems))...)
+		bodyStart := len(dst)
+		var err error
+		for i, e := range elems {
+			binary.LittleEndian.PutUint32(dst[idxStart+4*i:], uint32(len(dst)-bodyStart))
+			dst, err = Encode(dst, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case jsonval.Object:
+		members := append([]jsonval.Member(nil), v.Members()...)
+		sort.SliceStable(members, func(i, j int) bool { return members[i].Key < members[j].Key })
+		dst = append(dst, tagObject)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(members)))
+		// Per-member index entry: key offset, key length, value offset.
+		idxStart := len(dst)
+		dst = append(dst, make([]byte, 12*len(members))...)
+		keysStart := len(dst)
+		for i, m := range members {
+			if strings.IndexByte(m.Key, 0) >= 0 {
+				return nil, ErrNullByte
+			}
+			binary.LittleEndian.PutUint32(dst[idxStart+12*i:], uint32(len(dst)-keysStart))
+			binary.LittleEndian.PutUint32(dst[idxStart+12*i+4:], uint32(len(m.Key)))
+			dst = append(dst, m.Key...)
+		}
+		valsStart := len(dst)
+		var err error
+		for i, m := range members {
+			binary.LittleEndian.PutUint32(dst[idxStart+12*i+8:], uint32(len(dst)-valsStart))
+			dst, err = Encode(dst, m.Value)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	default:
+		return append(dst, tagNull), nil
+	}
+}
+
+// Decode materialises the whole document — the per-evaluation cost of the
+// PostgreSQL stand-in, which (like detoasted JSONB) rebuilds the value tree.
+func Decode(data []byte) (jsonval.Value, error) {
+	v, n, err := decode(data, 0)
+	if err != nil {
+		return jsonval.Value{}, err
+	}
+	if n != len(data) {
+		return jsonval.Value{}, &CorruptError{Offset: n, Msg: "trailing bytes"}
+	}
+	return v, nil
+}
+
+func decode(data []byte, off int) (jsonval.Value, int, error) {
+	if off >= len(data) {
+		return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated value"}
+	}
+	switch tag := data[off]; tag {
+	case tagNull:
+		return jsonval.NullValue(), off + 1, nil
+	case tagFalse:
+		return jsonval.BoolValue(false), off + 1, nil
+	case tagTrue:
+		return jsonval.BoolValue(true), off + 1, nil
+	case tagInt:
+		if off+9 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated int"}
+		}
+		return jsonval.IntValue(int64(binary.LittleEndian.Uint64(data[off+1:]))), off + 9, nil
+	case tagFloat:
+		if off+9 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated float"}
+		}
+		return jsonval.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[off+1:]))), off + 9, nil
+	case tagString:
+		if off+5 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated string header"}
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+1:]))
+		start := off + 5
+		if start+n > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "string out of bounds"}
+		}
+		return jsonval.StringValue(string(data[start : start+n])), start + n, nil
+	case tagArray:
+		if off+5 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated array header"}
+		}
+		count := int(binary.LittleEndian.Uint32(data[off+1:]))
+		pos := off + 5 + 4*count
+		if pos > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "array index out of bounds"}
+		}
+		elems := make([]jsonval.Value, count)
+		var err error
+		for i := 0; i < count; i++ {
+			elems[i], pos, err = decode(data, pos)
+			if err != nil {
+				return jsonval.Value{}, 0, err
+			}
+		}
+		return jsonval.ArrayValue(elems...), pos, nil
+	case tagObject:
+		if off+5 > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "truncated object header"}
+		}
+		count := int(binary.LittleEndian.Uint32(data[off+1:]))
+		idx := off + 5
+		keysStart := idx + 12*count
+		if keysStart > len(data) {
+			return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: "object index out of bounds"}
+		}
+		members := make([]jsonval.Member, count)
+		pos := keysStart
+		// Keys first (they precede the values section).
+		for i := 0; i < count; i++ {
+			kOff := int(binary.LittleEndian.Uint32(data[idx+12*i:]))
+			kLen := int(binary.LittleEndian.Uint32(data[idx+12*i+4:]))
+			if keysStart+kOff+kLen > len(data) {
+				return jsonval.Value{}, 0, &CorruptError{Offset: idx, Msg: "key out of bounds"}
+			}
+			members[i].Key = string(data[keysStart+kOff : keysStart+kOff+kLen])
+			pos = keysStart + kOff + kLen
+		}
+		var err error
+		for i := 0; i < count; i++ {
+			members[i].Value, pos, err = decode(data, pos)
+			if err != nil {
+				return jsonval.Value{}, 0, err
+			}
+		}
+		return jsonval.ObjectValue(members...), pos, nil
+	default:
+		return jsonval.Value{}, 0, &CorruptError{Offset: off, Msg: fmt.Sprintf("unknown tag 0x%02x", tag)}
+	}
+}
+
+// LookupBinary resolves a path via binary search over the sorted key
+// indexes, without materialising the document. pgsim uses full Decode for
+// query evaluation (matching detoast behaviour); LookupBinary backs the
+// lazy-access ablation benchmark.
+func LookupBinary(data []byte, path jsonval.Path) (jsonval.Value, bool, error) {
+	off := 0
+	segs := path.Segments()
+	for si, seg := range segs {
+		if off >= len(data) || data[off] != tagObject {
+			return jsonval.Value{}, false, nil
+		}
+		count := int(binary.LittleEndian.Uint32(data[off+1:]))
+		if count == 0 {
+			return jsonval.Value{}, false, nil
+		}
+		idx := off + 5
+		keysStart := idx + 12*count
+		key := func(i int) string {
+			kOff := int(binary.LittleEndian.Uint32(data[idx+12*i:]))
+			kLen := int(binary.LittleEndian.Uint32(data[idx+12*i+4:]))
+			return string(data[keysStart+kOff : keysStart+kOff+kLen])
+		}
+		lo, hi := 0, count-1
+		found := -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch k := key(mid); {
+			case k == seg:
+				found = mid
+				lo = hi + 1
+			case k < seg:
+				lo = mid + 1
+			default:
+				hi = mid - 1
+			}
+		}
+		if found < 0 {
+			return jsonval.Value{}, false, nil
+		}
+		// Values start after the last key; compute the values section
+		// start from the last key's end.
+		lastOff := int(binary.LittleEndian.Uint32(data[idx+12*(count-1):]))
+		lastLen := int(binary.LittleEndian.Uint32(data[idx+12*(count-1)+4:]))
+		valsStart := keysStart + lastOff + lastLen
+		vOff := int(binary.LittleEndian.Uint32(data[idx+12*found+8:]))
+		off = valsStart + vOff
+		if si == len(segs)-1 {
+			v, _, err := decode(data, off)
+			if err != nil {
+				return jsonval.Value{}, false, err
+			}
+			return v, true, nil
+		}
+	}
+	v, _, err := decode(data, off)
+	if err != nil {
+		return jsonval.Value{}, false, err
+	}
+	return v, true, nil
+}

@@ -1,0 +1,205 @@
+package jsonblite
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func doc(t *testing.T, s string) jsonval.Value {
+	t.Helper()
+	v, err := jsonval.Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return v
+}
+
+func mustEncode(t *testing.T, v jsonval.Value) []byte {
+	t.Helper()
+	data, err := Encode(nil, v)
+	if err != nil {
+		t.Fatalf("Encode(%s): %v", v, err)
+	}
+	return data
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	for _, s := range []string{`null`, `true`, `false`, `0`, `-7`, `2.5`, `""`, `"text"`, `[1,2,"x"]`} {
+		v := doc(t, s)
+		back, err := Decode(mustEncode(t, v))
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", s, err)
+		}
+		if !back.Equal(v) || back.Kind() != v.Kind() {
+			t.Errorf("round trip of %s gave %s (%v)", s, back, back.Kind())
+		}
+	}
+}
+
+func TestRoundTripObjectsSortKeys(t *testing.T) {
+	v := doc(t, `{"zebra":1,"apple":2,"mango":{"y":1,"x":2}}`)
+	back, err := Decode(mustEncode(t, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSONB normalises member order to sorted keys (like PostgreSQL).
+	keys := make([]string, 0, 3)
+	for _, m := range back.Members() {
+		keys = append(keys, m.Key)
+	}
+	if strings.Join(keys, ",") != "apple,mango,zebra" {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+	if !back.Equal(v) {
+		t.Errorf("content changed: %s", back)
+	}
+}
+
+func TestEncodeRejectsNullByteInString(t *testing.T) {
+	v := jsonval.ObjectValue(jsonval.Member{Key: "body", Value: jsonval.StringValue("a\x00b")})
+	if _, err := Encode(nil, v); !errors.Is(err, ErrNullByte) {
+		t.Errorf("NUL string accepted: %v", err)
+	}
+	deep := jsonval.ObjectValue(jsonval.Member{Key: "o", Value: jsonval.ArrayValue(jsonval.StringValue("x\x00"))})
+	if _, err := Encode(nil, deep); !errors.Is(err, ErrNullByte) {
+		t.Errorf("nested NUL string accepted: %v", err)
+	}
+	key := jsonval.ObjectValue(jsonval.Member{Key: "k\x00", Value: jsonval.IntValue(1)})
+	if _, err := Encode(nil, key); !errors.Is(err, ErrNullByte) {
+		t.Errorf("NUL key accepted: %v", err)
+	}
+}
+
+func TestLookupBinary(t *testing.T) {
+	data := mustEncode(t, doc(t, `{"user":{"name":"alice","id":7},"active":true,"stats":{"a":1,"b":2,"c":3,"d":4,"e":5}}`))
+	cases := []struct {
+		path  string
+		want  string
+		found bool
+	}{
+		{"/user/name", `"alice"`, true},
+		{"/user/id", "7", true},
+		{"/active", "true", true},
+		{"/stats/c", "3", true},
+		{"/stats/e", "5", true},
+		{"/stats/z", "", false},
+		{"/missing", "", false},
+		{"/user/name/deeper", "", false},
+	}
+	for _, c := range cases {
+		v, ok, err := LookupBinary(data, jsonval.ParsePath(c.path))
+		if err != nil {
+			t.Errorf("LookupBinary(%s): %v", c.path, err)
+			continue
+		}
+		if ok != c.found {
+			t.Errorf("LookupBinary(%s) found=%v, want %v", c.path, ok, c.found)
+			continue
+		}
+		if ok && v.String() != c.want {
+			t.Errorf("LookupBinary(%s) = %s, want %s", c.path, v, c.want)
+		}
+	}
+}
+
+func TestLookupBinaryEmptyObject(t *testing.T) {
+	data := mustEncode(t, doc(t, `{}`))
+	if _, ok, err := LookupBinary(data, "/a"); ok || err != nil {
+		t.Errorf("empty object lookup = %v, %v", ok, err)
+	}
+}
+
+func TestLookupBinaryAgreesWithDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		v := randomObj(r, 3)
+		data := mustEncode(t, v)
+		decoded, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range []jsonval.Path{"/a", "/b/a", "/c/b/a", "/nope"} {
+			want, wantOK := path.Lookup(decoded)
+			got, gotOK, err := LookupBinary(data, path)
+			if err != nil {
+				t.Fatalf("LookupBinary(%s) on %s: %v", path, v, err)
+			}
+			if gotOK != wantOK || (gotOK && !got.Equal(want)) {
+				t.Fatalf("LookupBinary(%s) = %s/%v, Decode says %s/%v (doc %s)", path, got, gotOK, want, wantOK, v)
+			}
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	valid := mustEncode(t, doc(t, `{"a":1,"b":"xy"}`))
+	cases := [][]byte{
+		nil,
+		{0x7F},
+		valid[:len(valid)-1],
+		append(append([]byte{}, valid...), 0x00), // trailing bytes
+	}
+	for i, data := range cases {
+		if v, err := Decode(data); err == nil {
+			t.Errorf("case %d: corrupt input decoded to %s", i, v)
+		}
+	}
+}
+
+func TestFloatKindsPreserved(t *testing.T) {
+	v := doc(t, `{"i":5,"f":5.0}`)
+	back, err := Decode(mustEncode(t, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := back.Field("i")
+	f, _ := back.Field("f")
+	if i.Kind() != jsonval.Int || f.Kind() != jsonval.Float {
+		t.Errorf("kinds = %v, %v", i.Kind(), f.Kind())
+	}
+	big := jsonval.FloatValue(math.MaxFloat64)
+	backBig, err := Decode(mustEncode(t, big))
+	if err != nil || backBig.Float() != math.MaxFloat64 {
+		t.Errorf("MaxFloat64 round trip = %s, %v", backBig, err)
+	}
+}
+
+func randomObj(r *rand.Rand, depth int) jsonval.Value {
+	keys := []string{"a", "b", "c", "dd", "ee"}
+	n := 1 + r.Intn(4)
+	members := make([]jsonval.Member, 0, n)
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := keys[r.Intn(len(keys))]
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		var v jsonval.Value
+		switch r.Intn(6) {
+		case 0:
+			v = jsonval.IntValue(int64(r.Intn(1000)))
+		case 1:
+			v = jsonval.FloatValue(r.Float64())
+		case 2:
+			v = jsonval.StringValue(strings.Repeat("v", r.Intn(8)))
+		case 3:
+			v = jsonval.BoolValue(r.Intn(2) == 0)
+		case 4:
+			v = jsonval.ArrayValue(jsonval.IntValue(1), jsonval.StringValue("e"))
+		default:
+			if depth > 0 {
+				v = randomObj(r, depth-1)
+			} else {
+				v = jsonval.NullValue()
+			}
+		}
+		members = append(members, jsonval.Member{Key: k, Value: v})
+	}
+	return jsonval.ObjectValue(members...)
+}

@@ -1,0 +1,95 @@
+package jsonstats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	d := NewDataset("Twitter", Config{PrefixLen: 3, MaxPrefixes: 10, MaxValues: 5})
+	for i := 0; i < 150; i++ {
+		d.AddDocument(randomDoc(r))
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.DocCount != d.DocCount {
+		t.Fatalf("header mismatch: %s/%d vs %s/%d", back.Name, back.DocCount, d.Name, d.DocCount)
+	}
+	if back.Config() != d.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", back.Config(), d.Config())
+	}
+	assertDatasetsEqual(t, d, back)
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate after round trip: %v", err)
+	}
+}
+
+func TestCodecRootPathSurvives(t *testing.T) {
+	d := buildDataset(t, `{"a":1}`)
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"/"`) {
+		t.Errorf("root path missing from serialised form: %s", data)
+	}
+	var back Dataset
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Paths[jsonval.RootPath] == nil {
+		t.Errorf("root path lost in round trip")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+}
+
+func TestCodecListingTwoShape(t *testing.T) {
+	// The serialised form follows the structure of Listing 2: named paths
+	// with per-type statistics.
+	d := buildDataset(t,
+		`{"user":{"name":"x"}}`,
+		`{"user":{"name":"y","id":3}}`,
+	)
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	paths, ok := m["paths"].(map[string]any)
+	if !ok {
+		t.Fatalf("no paths object in %s", data)
+	}
+	user, ok := paths["/user"].(map[string]any)
+	if !ok {
+		t.Fatalf("no /user entry: %v", paths)
+	}
+	if user["count"].(float64) != 2 {
+		t.Errorf("/user count = %v", user["count"])
+	}
+	if _, ok := user["object"]; !ok {
+		t.Errorf("/user has no object stats: %v", user)
+	}
+	if _, ok := paths["/user/name"].(map[string]any)["string"]; !ok {
+		t.Errorf("/user/name has no string stats")
+	}
+}

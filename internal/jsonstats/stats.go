@@ -1,0 +1,515 @@
+// Package jsonstats defines the statistical dataset summary produced by the
+// BETZE analyzer (§IV-A of the paper, Listing 2) and consumed by the query
+// generator.
+//
+// For every distinct attribute path of a dataset, the summary records how
+// many documents contain the path and, per JSON type, the statistics the
+// predicate factories need: min/max for integer and floating-point values,
+// the number of true values for booleans, child-count ranges for objects and
+// arrays, and counted string prefixes (plus a bounded sample of exact string
+// values, an extension that makes string-equality predicates estimable).
+package jsonstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// Default bounds for the string statistics. They cap the size of the
+// analysis file on datasets with high-cardinality string attributes.
+const (
+	DefaultPrefixLen   = 4
+	DefaultMaxPrefixes = 64
+	DefaultMaxValues   = 32
+)
+
+// Config bounds what the string statistics track and whether numeric
+// histograms are collected.
+type Config struct {
+	// PrefixLen is the length (in bytes) of tracked string prefixes.
+	// Strings shorter than PrefixLen contribute themselves.
+	PrefixLen int
+	// MaxPrefixes caps the number of distinct prefixes kept per path.
+	MaxPrefixes int
+	// MaxValues caps the number of distinct exact string values sampled
+	// per path.
+	MaxValues int
+	// HistogramBuckets is the bucket count of the per-path numeric
+	// histograms (the paper's future-work extension for skew-aware
+	// selectivity prediction). 0 means DefaultHistogramBuckets; negative
+	// disables histograms.
+	HistogramBuckets int
+}
+
+// DefaultConfig returns the bounds used by the paper-scale analyzer runs.
+func DefaultConfig() Config {
+	return Config{
+		PrefixLen:   DefaultPrefixLen,
+		MaxPrefixes: DefaultMaxPrefixes,
+		MaxValues:   DefaultMaxValues,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PrefixLen <= 0 {
+		c.PrefixLen = DefaultPrefixLen
+	}
+	if c.MaxPrefixes <= 0 {
+		c.MaxPrefixes = DefaultMaxPrefixes
+	}
+	if c.MaxValues <= 0 {
+		c.MaxValues = DefaultMaxValues
+	}
+	if c.HistogramBuckets == 0 {
+		c.HistogramBuckets = DefaultHistogramBuckets
+	}
+	return c
+}
+
+// histogramsEnabled reports whether numeric histograms are collected.
+func (c Config) histogramsEnabled() bool { return c.HistogramBuckets > 0 }
+
+// Dataset is the statistical summary of one dataset. It is the unit the
+// generator works on: initial datasets get a summary from the analyzer, and
+// derived datasets get one by scaling their parent's summary (§IV-D).
+type Dataset struct {
+	// Name identifies the dataset (e.g. "Twitter").
+	Name string
+	// DocCount is the number of documents summarised.
+	DocCount int64
+	// Paths maps every attribute path seen in the dataset to its
+	// statistics. The root path is present whenever DocCount > 0 and
+	// describes the documents themselves.
+	Paths map[jsonval.Path]*PathStats
+
+	cfg Config
+}
+
+// NewDataset returns an empty summary with the given string-stat bounds.
+func NewDataset(name string, cfg Config) *Dataset {
+	return &Dataset{
+		Name:  name,
+		Paths: make(map[jsonval.Path]*PathStats),
+		cfg:   cfg.withDefaults(),
+	}
+}
+
+// Config returns the string-statistic bounds the summary was built with.
+func (d *Dataset) Config() Config { return d.cfg }
+
+// PathStats aggregates the statistics of one attribute path. A pointer field
+// is nil until a value of that type has been observed at the path.
+type PathStats struct {
+	// Count is the number of documents that contain the path.
+	Count int64
+	// NullCount is the number of documents with a JSON null at the path.
+	NullCount int64
+
+	Bool  *BoolStats
+	Int   *IntStats
+	Float *FloatStats
+	Str   *StringStats
+	Obj   *ObjectStats
+	Arr   *ArrayStats
+
+	// NumHist is the combined histogram over the path's integer and
+	// floating-point values; nil when histograms are disabled or no
+	// numbers were observed.
+	NumHist *Histogram
+}
+
+// IntStats summarises integer occurrences at a path.
+type IntStats struct {
+	Count    int64
+	Min, Max int64
+}
+
+// FloatStats summarises floating-point occurrences at a path.
+type FloatStats struct {
+	Count    int64
+	Min, Max float64
+}
+
+// BoolStats summarises boolean occurrences at a path. The number of false
+// values is Count - TrueCount.
+type BoolStats struct {
+	Count     int64
+	TrueCount int64
+}
+
+// StringStats summarises string occurrences at a path.
+type StringStats struct {
+	Count int64
+	// Prefixes counts occurrences per fixed-length prefix. If
+	// PrefixOverflow is set, prefixes beyond the cap were dropped and the
+	// map undercounts the tail.
+	Prefixes       map[string]int64
+	PrefixOverflow bool
+	// Values samples exact values with their occurrence counts; bounded,
+	// with ValueOverflow marking that the sample is partial.
+	Values        map[string]int64
+	ValueOverflow bool
+	// MinLen/MaxLen bound the observed string lengths in bytes.
+	MinLen, MaxLen int
+}
+
+// ObjectStats summarises object occurrences at a path.
+type ObjectStats struct {
+	Count                    int64
+	MinChildren, MaxChildren int
+}
+
+// ArrayStats summarises array occurrences at a path.
+type ArrayStats struct {
+	Count            int64
+	MinSize, MaxSize int
+}
+
+// stats returns the PathStats for p, creating it if needed.
+func (d *Dataset) stats(p jsonval.Path) *PathStats {
+	ps := d.Paths[p]
+	if ps == nil {
+		ps = &PathStats{}
+		d.Paths[p] = ps
+	}
+	return ps
+}
+
+// AddDocument folds one document into the summary.
+func (d *Dataset) AddDocument(doc jsonval.Value) {
+	d.DocCount++
+	d.observe(jsonval.RootPath, doc)
+}
+
+func (d *Dataset) observe(p jsonval.Path, v jsonval.Value) {
+	ps := d.stats(p)
+	ps.Count++
+	switch v.Kind() {
+	case jsonval.Null:
+		ps.NullCount++
+	case jsonval.Bool:
+		if ps.Bool == nil {
+			ps.Bool = &BoolStats{}
+		}
+		ps.Bool.Count++
+		if v.Bool() {
+			ps.Bool.TrueCount++
+		}
+	case jsonval.Int:
+		n := v.Int()
+		if ps.Int == nil {
+			ps.Int = &IntStats{Min: n, Max: n}
+		}
+		ps.Int.Count++
+		ps.Int.Min = min(ps.Int.Min, n)
+		ps.Int.Max = max(ps.Int.Max, n)
+		d.observeNumber(ps, float64(n))
+	case jsonval.Float:
+		f := v.Float()
+		if ps.Float == nil {
+			ps.Float = &FloatStats{Min: f, Max: f}
+		}
+		ps.Float.Count++
+		ps.Float.Min = math.Min(ps.Float.Min, f)
+		ps.Float.Max = math.Max(ps.Float.Max, f)
+		d.observeNumber(ps, f)
+	case jsonval.String:
+		s := v.Str()
+		if ps.Str == nil {
+			ps.Str = &StringStats{
+				Prefixes: make(map[string]int64),
+				Values:   make(map[string]int64),
+				MinLen:   len(s),
+				MaxLen:   len(s),
+			}
+		}
+		st := ps.Str
+		st.Count++
+		st.MinLen = min(st.MinLen, len(s))
+		st.MaxLen = max(st.MaxLen, len(s))
+		pre := prefixOf(s, d.cfg.PrefixLen)
+		if _, ok := st.Prefixes[pre]; ok || len(st.Prefixes) < d.cfg.MaxPrefixes {
+			st.Prefixes[pre]++
+		} else {
+			st.PrefixOverflow = true
+		}
+		if _, ok := st.Values[s]; ok || len(st.Values) < d.cfg.MaxValues {
+			st.Values[s]++
+		} else {
+			st.ValueOverflow = true
+		}
+	case jsonval.Object:
+		n := v.Len()
+		if ps.Obj == nil {
+			ps.Obj = &ObjectStats{MinChildren: n, MaxChildren: n}
+		}
+		ps.Obj.Count++
+		ps.Obj.MinChildren = min(ps.Obj.MinChildren, n)
+		ps.Obj.MaxChildren = max(ps.Obj.MaxChildren, n)
+		for _, m := range v.Members() {
+			d.observe(p.Child(m.Key), m.Value)
+		}
+	case jsonval.Array:
+		n := v.Len()
+		if ps.Arr == nil {
+			ps.Arr = &ArrayStats{MinSize: n, MaxSize: n}
+		}
+		ps.Arr.Count++
+		ps.Arr.MinSize = min(ps.Arr.MinSize, n)
+		ps.Arr.MaxSize = max(ps.Arr.MaxSize, n)
+		// Arrays are leaves: the analyzer describes them by size only.
+	}
+}
+
+func (d *Dataset) observeNumber(ps *PathStats, f float64) {
+	if !d.cfg.histogramsEnabled() {
+		return
+	}
+	if ps.NumHist == nil {
+		ps.NumHist = NewHistogram(d.cfg.HistogramBuckets)
+	}
+	ps.NumHist.Observe(f)
+}
+
+func prefixOf(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	// Avoid splitting a multi-byte rune.
+	for n > 0 && s[n]&0xC0 == 0x80 {
+		n--
+	}
+	return s[:n]
+}
+
+// Merge folds other into d. The receiving summary must have been built with
+// the same Config for the string-stat bounds to remain meaningful; counts
+// are combined regardless. Merge supports the parallel analyzer: workers
+// build shard summaries that are merged pairwise.
+func (d *Dataset) Merge(other *Dataset) {
+	d.DocCount += other.DocCount
+	for p, ops := range other.Paths {
+		ps := d.stats(p)
+		ps.Count += ops.Count
+		ps.NullCount += ops.NullCount
+		if ops.Bool != nil {
+			if ps.Bool == nil {
+				ps.Bool = &BoolStats{}
+			}
+			ps.Bool.Count += ops.Bool.Count
+			ps.Bool.TrueCount += ops.Bool.TrueCount
+		}
+		if ops.Int != nil {
+			if ps.Int == nil {
+				ps.Int = &IntStats{Min: ops.Int.Min, Max: ops.Int.Max}
+			}
+			ps.Int.Count += ops.Int.Count
+			ps.Int.Min = min(ps.Int.Min, ops.Int.Min)
+			ps.Int.Max = max(ps.Int.Max, ops.Int.Max)
+		}
+		if ops.Float != nil {
+			if ps.Float == nil {
+				ps.Float = &FloatStats{Min: ops.Float.Min, Max: ops.Float.Max}
+			}
+			ps.Float.Count += ops.Float.Count
+			ps.Float.Min = math.Min(ps.Float.Min, ops.Float.Min)
+			ps.Float.Max = math.Max(ps.Float.Max, ops.Float.Max)
+		}
+		if ops.Str != nil {
+			if ps.Str == nil {
+				ps.Str = &StringStats{
+					Prefixes: make(map[string]int64),
+					Values:   make(map[string]int64),
+					MinLen:   ops.Str.MinLen,
+					MaxLen:   ops.Str.MaxLen,
+				}
+			}
+			st := ps.Str
+			st.Count += ops.Str.Count
+			st.MinLen = min(st.MinLen, ops.Str.MinLen)
+			st.MaxLen = max(st.MaxLen, ops.Str.MaxLen)
+			st.PrefixOverflow = st.PrefixOverflow || ops.Str.PrefixOverflow
+			st.ValueOverflow = st.ValueOverflow || ops.Str.ValueOverflow
+			for pre, c := range ops.Str.Prefixes {
+				if _, ok := st.Prefixes[pre]; ok || len(st.Prefixes) < d.cfg.MaxPrefixes {
+					st.Prefixes[pre] += c
+				} else {
+					st.PrefixOverflow = true
+				}
+			}
+			for s, c := range ops.Str.Values {
+				if _, ok := st.Values[s]; ok || len(st.Values) < d.cfg.MaxValues {
+					st.Values[s] += c
+				} else {
+					st.ValueOverflow = true
+				}
+			}
+		}
+		if ops.Obj != nil {
+			if ps.Obj == nil {
+				ps.Obj = &ObjectStats{MinChildren: ops.Obj.MinChildren, MaxChildren: ops.Obj.MaxChildren}
+			}
+			ps.Obj.Count += ops.Obj.Count
+			ps.Obj.MinChildren = min(ps.Obj.MinChildren, ops.Obj.MinChildren)
+			ps.Obj.MaxChildren = max(ps.Obj.MaxChildren, ops.Obj.MaxChildren)
+		}
+		if ops.Arr != nil {
+			if ps.Arr == nil {
+				ps.Arr = &ArrayStats{MinSize: ops.Arr.MinSize, MaxSize: ops.Arr.MaxSize}
+			}
+			ps.Arr.Count += ops.Arr.Count
+			ps.Arr.MinSize = min(ps.Arr.MinSize, ops.Arr.MinSize)
+			ps.Arr.MaxSize = max(ps.Arr.MaxSize, ops.Arr.MaxSize)
+		}
+		if ops.NumHist != nil {
+			if ps.NumHist == nil {
+				ps.NumHist = NewHistogram(d.cfg.HistogramBuckets)
+			}
+			ps.NumHist.Merge(ops.NumHist)
+		}
+	}
+}
+
+// Scale derives the summary of a sub-dataset selected with the given
+// selectivity, without re-analysing documents (§IV-D: when no verification
+// backend is configured, "the statistics of each generated sub-dataset are
+// then calculated by scaling the statistics of the base dataset"). All
+// counts shrink proportionally; value ranges are kept because nothing better
+// is known.
+func (d *Dataset) Scale(name string, selectivity float64) *Dataset {
+	if selectivity < 0 {
+		selectivity = 0
+	}
+	if selectivity > 1 {
+		selectivity = 1
+	}
+	out := NewDataset(name, d.cfg)
+	out.DocCount = scaleCount(d.DocCount, selectivity)
+	for p, ps := range d.Paths {
+		nps := &PathStats{
+			Count:     scaleCount(ps.Count, selectivity),
+			NullCount: scaleCount(ps.NullCount, selectivity),
+		}
+		if nps.Count == 0 {
+			continue
+		}
+		if ps.Bool != nil {
+			nps.Bool = &BoolStats{
+				Count:     scaleCount(ps.Bool.Count, selectivity),
+				TrueCount: scaleCount(ps.Bool.TrueCount, selectivity),
+			}
+		}
+		if ps.Int != nil {
+			nps.Int = &IntStats{Count: scaleCount(ps.Int.Count, selectivity), Min: ps.Int.Min, Max: ps.Int.Max}
+		}
+		if ps.Float != nil {
+			nps.Float = &FloatStats{Count: scaleCount(ps.Float.Count, selectivity), Min: ps.Float.Min, Max: ps.Float.Max}
+		}
+		if ps.Str != nil {
+			ns := &StringStats{
+				Count:          scaleCount(ps.Str.Count, selectivity),
+				Prefixes:       make(map[string]int64, len(ps.Str.Prefixes)),
+				Values:         make(map[string]int64, len(ps.Str.Values)),
+				PrefixOverflow: ps.Str.PrefixOverflow,
+				ValueOverflow:  ps.Str.ValueOverflow,
+				MinLen:         ps.Str.MinLen,
+				MaxLen:         ps.Str.MaxLen,
+			}
+			for pre, c := range ps.Str.Prefixes {
+				if sc := scaleCount(c, selectivity); sc > 0 {
+					ns.Prefixes[pre] = sc
+				}
+			}
+			for s, c := range ps.Str.Values {
+				if sc := scaleCount(c, selectivity); sc > 0 {
+					ns.Values[s] = sc
+				}
+			}
+			nps.Str = ns
+		}
+		if ps.Obj != nil {
+			nps.Obj = &ObjectStats{Count: scaleCount(ps.Obj.Count, selectivity), MinChildren: ps.Obj.MinChildren, MaxChildren: ps.Obj.MaxChildren}
+		}
+		if ps.Arr != nil {
+			nps.Arr = &ArrayStats{Count: scaleCount(ps.Arr.Count, selectivity), MinSize: ps.Arr.MinSize, MaxSize: ps.Arr.MaxSize}
+		}
+		if ps.NumHist != nil {
+			nps.NumHist = ps.NumHist.Scale(selectivity)
+		}
+		out.Paths[p] = nps
+	}
+	return out
+}
+
+func scaleCount(c int64, f float64) int64 {
+	scaled := int64(math.Round(float64(c) * f))
+	if scaled == 0 && c > 0 && f > 0 {
+		scaled = 1 // keep non-empty statistics alive
+	}
+	return scaled
+}
+
+// SortedPaths returns all paths in lexicographic order, for deterministic
+// iteration by the seeded generator.
+func (d *Dataset) SortedPaths() []jsonval.Path {
+	paths := make([]jsonval.Path, 0, len(d.Paths))
+	for p := range d.Paths {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i] < paths[j] })
+	return paths
+}
+
+// Validate checks internal consistency of the summary: per-type counts must
+// sum to the path count, ranges must be ordered, bool true-counts bounded.
+func (d *Dataset) Validate() error {
+	for p, ps := range d.Paths {
+		var typed int64 = ps.NullCount
+		if ps.Bool != nil {
+			typed += ps.Bool.Count
+			if ps.Bool.TrueCount < 0 || ps.Bool.TrueCount > ps.Bool.Count {
+				return fmt.Errorf("jsonstats: path %s: true count %d outside [0,%d]", p, ps.Bool.TrueCount, ps.Bool.Count)
+			}
+		}
+		if ps.Int != nil {
+			typed += ps.Int.Count
+			if ps.Int.Min > ps.Int.Max {
+				return fmt.Errorf("jsonstats: path %s: int min %d > max %d", p, ps.Int.Min, ps.Int.Max)
+			}
+		}
+		if ps.Float != nil {
+			typed += ps.Float.Count
+			if ps.Float.Min > ps.Float.Max {
+				return fmt.Errorf("jsonstats: path %s: float min %g > max %g", p, ps.Float.Min, ps.Float.Max)
+			}
+		}
+		if ps.Str != nil {
+			typed += ps.Str.Count
+			if ps.Str.MinLen > ps.Str.MaxLen {
+				return fmt.Errorf("jsonstats: path %s: string minlen %d > maxlen %d", p, ps.Str.MinLen, ps.Str.MaxLen)
+			}
+		}
+		if ps.Obj != nil {
+			typed += ps.Obj.Count
+			if ps.Obj.MinChildren > ps.Obj.MaxChildren {
+				return fmt.Errorf("jsonstats: path %s: object children %d > %d", p, ps.Obj.MinChildren, ps.Obj.MaxChildren)
+			}
+		}
+		if ps.Arr != nil {
+			typed += ps.Arr.Count
+			if ps.Arr.MinSize > ps.Arr.MaxSize {
+				return fmt.Errorf("jsonstats: path %s: array size %d > %d", p, ps.Arr.MinSize, ps.Arr.MaxSize)
+			}
+		}
+		if typed != ps.Count {
+			return fmt.Errorf("jsonstats: path %s: typed counts sum to %d, path count is %d", p, typed, ps.Count)
+		}
+		if ps.Count > d.DocCount {
+			return fmt.Errorf("jsonstats: path %s: count %d exceeds document count %d", p, ps.Count, d.DocCount)
+		}
+	}
+	return nil
+}

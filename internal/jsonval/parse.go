@@ -1,0 +1,465 @@
+package jsonval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// MaxDepth bounds parser recursion. Real-world exploration datasets (Twitter,
+// Reddit) nest a handful of levels; the bound protects against adversarial
+// inputs without affecting legitimate documents.
+const MaxDepth = 256
+
+// SyntaxError describes a malformed JSON input.
+type SyntaxError struct {
+	Offset int // byte offset at which the error was detected
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsonval: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse decodes a single JSON value from data. Trailing non-whitespace input
+// is an error.
+func Parse(data []byte) (Value, error) {
+	p := parser{data: data}
+	p.skipSpace()
+	v, err := p.parseValue(0)
+	if err != nil {
+		return Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return Value{}, p.errf("unexpected trailing data")
+	}
+	return v, nil
+}
+
+// ParsePrefix decodes one JSON value from the front of data and returns the
+// number of bytes consumed. It is the building block for streams of
+// concatenated or newline-delimited documents.
+func ParsePrefix(data []byte) (Value, int, error) {
+	p := parser{data: data}
+	p.skipSpace()
+	v, err := p.parseValue(0)
+	if err != nil {
+		return Value{}, p.pos, err
+	}
+	return v, p.pos, nil
+}
+
+type parser struct {
+	data []byte
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) parseValue(depth int) (Value, error) {
+	if depth > MaxDepth {
+		return Value{}, p.errf("maximum nesting depth %d exceeded", MaxDepth)
+	}
+	if p.pos >= len(p.data) {
+		return Value{}, p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; c {
+	case '{':
+		return p.parseObject(depth)
+	case '[':
+		return p.parseArray(depth)
+	case '"':
+		s, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		return StringValue(s), nil
+	case 't':
+		if err := p.expect("true"); err != nil {
+			return Value{}, err
+		}
+		return BoolValue(true), nil
+	case 'f':
+		if err := p.expect("false"); err != nil {
+			return Value{}, err
+		}
+		return BoolValue(false), nil
+	case 'n':
+		if err := p.expect("null"); err != nil {
+			return Value{}, err
+		}
+		return NullValue(), nil
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			return p.parseNumber()
+		}
+		return Value{}, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *parser) expect(lit string) error {
+	if len(p.data)-p.pos < len(lit) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return p.errf("invalid literal, expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) parseObject(depth int) (Value, error) {
+	p.pos++ // '{'
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return ObjectValue(), nil
+	}
+	var members []Member
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return Value{}, p.errf("expected object key string")
+		}
+		key, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return Value{}, p.errf("expected ':' after object key")
+		}
+		p.pos++
+		p.skipSpace()
+		v, err := p.parseValue(depth + 1)
+		if err != nil {
+			return Value{}, err
+		}
+		members = append(members, Member{Key: key, Value: v})
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return ObjectValue(members...), nil
+		default:
+			return Value{}, p.errf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *parser) parseArray(depth int) (Value, error) {
+	p.pos++ // '['
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		return ArrayValue(), nil
+	}
+	var elems []Value
+	for {
+		p.skipSpace()
+		v, err := p.parseValue(depth + 1)
+		if err != nil {
+			return Value{}, err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return ArrayValue(elems...), nil
+		default:
+			return Value{}, p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *parser) parseString() (string, error) {
+	p.pos++ // opening quote
+	start := p.pos
+	// Fast path: no escapes, no control characters.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' {
+			s := string(p.data[start:p.pos])
+			p.pos++
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	// Slow path with escape handling.
+	buf := make([]byte, 0, p.pos-start+16)
+	buf = append(buf, p.data[start:p.pos]...)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return string(buf), nil
+		case c < 0x20:
+			return "", p.errf("unescaped control character 0x%02x in string", c)
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return "", p.errf("unterminated escape sequence")
+			}
+			switch e := p.data[p.pos]; e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+				p.pos++
+			case 'b':
+				buf = append(buf, '\b')
+				p.pos++
+			case 'f':
+				buf = append(buf, '\f')
+				p.pos++
+			case 'n':
+				buf = append(buf, '\n')
+				p.pos++
+			case 'r':
+				buf = append(buf, '\r')
+				p.pos++
+			case 't':
+				buf = append(buf, '\t')
+				p.pos++
+			case 'u':
+				r, err := p.parseUnicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", p.errf("invalid escape character %q", e)
+			}
+		default:
+			buf = append(buf, c)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *parser) parseUnicodeEscape() (rune, error) {
+	p.pos++ // 'u'
+	r1, err := p.hex4()
+	if err != nil {
+		return 0, err
+	}
+	if utf16.IsSurrogate(rune(r1)) {
+		if p.pos+1 < len(p.data) && p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
+			save := p.pos
+			p.pos += 2
+			r2, err := p.hex4()
+			if err != nil {
+				return 0, err
+			}
+			if r := utf16.DecodeRune(rune(r1), rune(r2)); r != utf8.RuneError {
+				return r, nil
+			}
+			p.pos = save
+		}
+		return utf8.RuneError, nil
+	}
+	return rune(r1), nil
+}
+
+func (p *parser) hex4() (uint32, error) {
+	if p.pos+4 > len(p.data) {
+		return 0, p.errf("truncated \\u escape")
+	}
+	var r uint32
+	for i := 0; i < 4; i++ {
+		c := p.data[p.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | uint32(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | uint32(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | uint32(c-'A'+10)
+		default:
+			return 0, p.errf("invalid hex digit %q in \\u escape", c)
+		}
+	}
+	p.pos += 4
+	return r, nil
+}
+
+func (p *parser) parseNumber() (Value, error) {
+	start := p.pos
+	isFloat := false
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return Value{}, p.errf("invalid number")
+	}
+	// Reject leading zeros ("007") per RFC 8259.
+	if first := p.data[start]; digits > 1 && (first == '0' || (first == '-' && p.data[start+1] == '0')) {
+		return Value{}, p.errf("number has leading zero")
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		isFloat = true
+		p.pos++
+		fdigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			fdigits++
+		}
+		if fdigits == 0 {
+			return Value{}, p.errf("missing digits after decimal point")
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		isFloat = true
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		edigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			edigits++
+		}
+		if edigits == 0 {
+			return Value{}, p.errf("missing digits in exponent")
+		}
+	}
+	text := string(p.data[start:p.pos])
+	if !isFloat {
+		if n, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return IntValue(n), nil
+		}
+		// Out of int64 range: fall through to float.
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil || math.IsInf(f, 0) {
+		return Value{}, p.errf("number %q out of range", text)
+	}
+	return FloatValue(f), nil
+}
+
+// Decoder reads a stream of concatenated and/or newline-delimited JSON
+// documents, the on-disk format of all BETZE datasets.
+type Decoder struct {
+	r      io.Reader
+	buf    []byte
+	start  int // unconsumed data begins here
+	end    int // valid data ends here
+	offset int // stream offset of buf[0]
+	err    error
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, buf: make([]byte, 0, 64*1024)}
+}
+
+// Decode returns the next document in the stream, or io.EOF when the stream
+// is exhausted.
+func (d *Decoder) Decode() (Value, error) {
+	for {
+		d.skipBufferedSpace()
+		if d.start < d.end {
+			v, n, err := ParsePrefix(d.buf[d.start:d.end])
+			if err == nil {
+				// A parse that consumes the whole buffer is ambiguous for
+				// numbers ("-2" may be the prefix of "-2.5e9"): fetch more
+				// input before accepting it, unless the stream is done.
+				if d.start+n == d.end && d.err == nil {
+					if ferr := d.fill(); ferr == nil {
+						continue
+					}
+				}
+				d.start += n
+				return v, nil
+			}
+			if d.err == nil {
+				// The document may simply be split across reads; a parse
+				// error is only authoritative once the source is exhausted.
+				if ferr := d.fill(); ferr == nil {
+					continue
+				}
+			}
+			if se, ok := err.(*SyntaxError); ok {
+				se.Offset += d.offset + d.start
+			}
+			return Value{}, err
+		}
+		if d.err != nil {
+			return Value{}, d.err
+		}
+		if err := d.fill(); err != nil && d.start >= d.end {
+			return Value{}, err
+		}
+	}
+}
+
+func (d *Decoder) skipBufferedSpace() {
+	for d.start < d.end {
+		switch d.buf[d.start] {
+		case ' ', '\t', '\n', '\r':
+			d.start++
+		default:
+			return
+		}
+	}
+}
+
+func (d *Decoder) fill() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.start > 0 {
+		n := copy(d.buf[:cap(d.buf)], d.buf[d.start:d.end])
+		d.offset += d.start
+		d.buf = d.buf[:n]
+		d.start, d.end = 0, n
+	}
+	if d.end == cap(d.buf) {
+		grown := make([]byte, d.end, 2*cap(d.buf))
+		copy(grown, d.buf[:d.end])
+		d.buf = grown
+	}
+	n, err := d.r.Read(d.buf[d.end:cap(d.buf)])
+	d.buf = d.buf[:d.end+n]
+	d.end += n
+	if err != nil {
+		d.err = err
+		if n == 0 {
+			return err
+		}
+	}
+	return nil
+}

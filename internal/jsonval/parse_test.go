@@ -1,0 +1,311 @@
+package jsonval
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Value {
+	t.Helper()
+	v, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestParseScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{`null`, NullValue()},
+		{`true`, BoolValue(true)},
+		{`false`, BoolValue(false)},
+		{`0`, IntValue(0)},
+		{`-7`, IntValue(-7)},
+		{`9223372036854775807`, IntValue(math.MaxInt64)},
+		{`-9223372036854775808`, IntValue(math.MinInt64)},
+		{`3.25`, FloatValue(3.25)},
+		{`-0.5`, FloatValue(-0.5)},
+		{`1e3`, FloatValue(1000)},
+		{`2E-2`, FloatValue(0.02)},
+		{`1.5e+2`, FloatValue(150)},
+		{`""`, StringValue("")},
+		{`"hi"`, StringValue("hi")},
+		{` "ws"  `, StringValue("ws")},
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.in)
+		if !strictEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %s (kind %v), want %s (kind %v)",
+				c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseIntFloatDistinction(t *testing.T) {
+	if mustParse(t, `5`).Kind() != Int {
+		t.Errorf("5 parsed as non-int")
+	}
+	if mustParse(t, `5.0`).Kind() != Float {
+		t.Errorf("5.0 parsed as non-float")
+	}
+	if mustParse(t, `5e0`).Kind() != Float {
+		t.Errorf("5e0 parsed as non-float")
+	}
+	// Integers beyond int64 degrade to float rather than failing.
+	huge := mustParse(t, `92233720368547758080`)
+	if huge.Kind() != Float {
+		t.Errorf("out-of-range integer parsed as %v", huge.Kind())
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`"\n\t\r\b\f\"\\\/"`, "\n\t\r\b\f\"\\/"},
+		{`"A"`, "A"},
+		{`"é"`, "é"},
+		{`"😀"`, "😀"}, // surrogate pair
+		{`"a\u0000b"`, "a\x00b"},
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.in)
+		if got.Str() != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got.Str(), c.want)
+		}
+	}
+}
+
+func TestParseLoneSurrogateBecomesReplacement(t *testing.T) {
+	v := mustParse(t, `"\ud800x"`)
+	if !strings.ContainsRune(v.Str(), '�') {
+		t.Errorf("lone surrogate did not decode to U+FFFD: %q", v.Str())
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	v := mustParse(t, `{"user":{"name":"alice","tags":[1,2.5,"x",null,true]},"n":3}`)
+	name, ok := ParsePath("/user/name").Lookup(v)
+	if !ok || name.Str() != "alice" {
+		t.Fatalf("lookup /user/name = %v, %v", name, ok)
+	}
+	tags, _ := ParsePath("/user/tags").Lookup(v)
+	if tags.Kind() != Array || tags.Len() != 5 {
+		t.Fatalf("tags = %s", tags)
+	}
+	if e, _ := tags.Index(1); e.Kind() != Float || e.Float() != 2.5 {
+		t.Errorf("tags[1] = %s", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `   `, `{`, `}`, `[`, `[1,`, `{"a"}`, `{"a":}`, `{"a":1,}`, // structure
+		`[1 2]`, `{"a":1 "b":2}`,
+		`tru`, `nul`, `falze`,
+		`01`, `-01`, `1.`, `.5`, `1e`, `1e+`, `-`,
+		`"abc`, `"\q"`, `"\u00g0"`, `"\u12"`, "\"raw\nnewline\"",
+		`1 2`, `{} []`, // trailing data
+		`+5`, `NaN`, `Infinity`, `1e999`,
+	}
+	for _, s := range bad {
+		if v, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded with %s, want error", s, v)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error is %T, want *SyntaxError", s, err)
+			}
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("[", MaxDepth+2) + strings.Repeat("]", MaxDepth+2)
+	if _, err := Parse([]byte(deep)); err == nil {
+		t.Fatalf("expected depth-limit error")
+	}
+	ok := strings.Repeat("[", 50) + "1" + strings.Repeat("]", 50)
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Fatalf("50-deep array rejected: %v", err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	data := []byte(`{"a":1}{"b":2}`)
+	v, n, err := ParsePrefix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.Field("a"); f.Int() != 1 {
+		t.Errorf("first doc = %s", v)
+	}
+	v2, _, err := ParsePrefix(data[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v2.Field("b"); f.Int() != 2 {
+		t.Errorf("second doc = %s", v2)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse([]byte(`{"a": ?}`))
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %v lacks offset", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(randomValue(r, 4))
+	}}
+	prop := func(v Value) bool {
+		text := AppendJSON(nil, v)
+		back, err := Parse(text)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", text, err)
+			return false
+		}
+		return strictEqual(v, back)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripPreservesKind(t *testing.T) {
+	// 5.0 must stay a float through serialise/parse.
+	v := FloatValue(5)
+	text := string(AppendJSON(nil, v))
+	if text != "5.0" {
+		t.Fatalf("FloatValue(5) serialises as %q", text)
+	}
+	back := mustParse(t, text)
+	if back.Kind() != Float {
+		t.Fatalf("round-tripped 5.0 has kind %v", back.Kind())
+	}
+}
+
+func TestDecoderStream(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`{"i":`)
+		sb.WriteString(strings.Repeat("1", 1+i%5))
+		sb.WriteString(`,"pad":"` + strings.Repeat("x", i*7%300) + `"}`)
+		if i%3 == 0 {
+			sb.WriteString("\n")
+		}
+	}
+	d := NewDecoder(strings.NewReader(sb.String()))
+	count := 0
+	for {
+		v, err := d.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("doc %d: %v", count, err)
+		}
+		if _, ok := v.Field("i"); !ok {
+			t.Fatalf("doc %d missing field i: %s", count, v)
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("decoded %d docs, want 100", count)
+	}
+}
+
+// fragmentReader returns data in tiny chunks to exercise document
+// boundaries that straddle reads.
+type fragmentReader struct {
+	data []byte
+	pos  int
+	n    int
+}
+
+func (f *fragmentReader) Read(p []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := f.n
+	if n > len(f.data)-f.pos {
+		n = len(f.data) - f.pos
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, f.data[f.pos:f.pos+n])
+	f.pos += n
+	return n, nil
+}
+
+func TestDecoderFragmentedInput(t *testing.T) {
+	var data []byte
+	r := rand.New(rand.NewSource(3))
+	var want []Value
+	for i := 0; i < 40; i++ {
+		v := randomValue(r, 3)
+		want = append(want, v)
+		data = AppendJSON(data, v)
+		data = append(data, '\n')
+	}
+	for _, chunk := range []int{1, 3, 7, 64} {
+		d := NewDecoder(&fragmentReader{data: data, n: chunk})
+		for i, w := range want {
+			v, err := d.Decode()
+			if err != nil {
+				t.Fatalf("chunk=%d doc=%d: %v", chunk, i, err)
+			}
+			if !strictEqual(v, w) {
+				t.Fatalf("chunk=%d doc=%d: got %s want %s", chunk, i, v, w)
+			}
+		}
+		if _, err := d.Decode(); err != io.EOF {
+			t.Fatalf("chunk=%d: expected EOF, got %v", chunk, err)
+		}
+	}
+}
+
+func TestDecoderMalformed(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"a":1} {"broken`))
+	if _, err := d.Decode(); err != nil {
+		t.Fatalf("first doc: %v", err)
+	}
+	if _, err := d.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("expected syntax error for truncated doc, got %v", err)
+	}
+}
+
+func TestDecoderEmpty(t *testing.T) {
+	d := NewDecoder(strings.NewReader("  \n\t "))
+	if _, err := d.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF on whitespace-only stream, got %v", err)
+	}
+}
+
+func TestDecoderLargeDocument(t *testing.T) {
+	// A single document larger than the decoder's initial buffer.
+	big := `{"s":"` + strings.Repeat("y", 300_000) + `"}`
+	d := NewDecoder(strings.NewReader(big + "\n" + `{"t":1}`))
+	v, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.Field("s"); f.Len() != 300_000 {
+		t.Fatalf("big string length %d", f.Len())
+	}
+	if _, err := d.Decode(); err != nil {
+		t.Fatalf("doc after big doc: %v", err)
+	}
+}

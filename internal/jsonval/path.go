@@ -1,0 +1,109 @@
+package jsonval
+
+import (
+	"strings"
+)
+
+// Path addresses a nested attribute inside a JSON document, in the
+// slash-separated JSON-pointer-like notation used throughout the paper
+// (e.g. "/retweeted_status/user/verified"). The empty path "" addresses the
+// document root. BETZE paths never index into arrays: the analyzer treats
+// arrays as leaves described by their size statistics.
+type Path string
+
+// RootPath addresses the document itself.
+const RootPath Path = ""
+
+// ParsePath validates and normalises a slash-separated path string.
+func ParsePath(s string) Path {
+	if s == "" || s == "/" {
+		return RootPath
+	}
+	if !strings.HasPrefix(s, "/") {
+		s = "/" + s
+	}
+	return Path(strings.TrimSuffix(s, "/"))
+}
+
+// Segments splits the path into its attribute names. The root path has no
+// segments.
+func (p Path) Segments() []string {
+	if p == RootPath {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(string(p), "/"), "/")
+}
+
+// Depth is the number of attribute names in the path; the root has depth 0.
+func (p Path) Depth() int {
+	if p == RootPath {
+		return 0
+	}
+	return strings.Count(string(p), "/")
+}
+
+// Child extends the path with one attribute name.
+func (p Path) Child(name string) Path {
+	return p + Path("/"+name)
+}
+
+// Parent returns the enclosing path; the parent of a depth-1 path (and of
+// the root) is the root.
+func (p Path) Parent() Path {
+	i := strings.LastIndexByte(string(p), '/')
+	if i <= 0 {
+		return RootPath
+	}
+	return p[:i]
+}
+
+// Leaf returns the final attribute name, or "" for the root.
+func (p Path) Leaf() string {
+	i := strings.LastIndexByte(string(p), '/')
+	if i < 0 {
+		return ""
+	}
+	return string(p[i+1:])
+}
+
+// IsAncestorOf reports whether p is a proper ancestor of q.
+func (p Path) IsAncestorOf(q Path) bool {
+	if p == RootPath {
+		return q != RootPath
+	}
+	return len(q) > len(p) && strings.HasPrefix(string(q), string(p)) && q[len(p)] == '/'
+}
+
+// String returns the slash-separated form; the root renders as "/".
+func (p Path) String() string {
+	if p == RootPath {
+		return "/"
+	}
+	return string(p)
+}
+
+// Lookup resolves the path inside doc. It returns false if any segment is
+// missing or traverses a non-object.
+func (p Path) Lookup(doc Value) (Value, bool) {
+	v := doc
+	if p == RootPath {
+		return v, true
+	}
+	s := string(p)
+	for len(s) > 0 {
+		s = s[1:] // leading '/'
+		i := strings.IndexByte(s, '/')
+		var seg string
+		if i < 0 {
+			seg, s = s, ""
+		} else {
+			seg, s = s[:i], s[i:]
+		}
+		var ok bool
+		v, ok = v.Field(seg)
+		if !ok {
+			return Value{}, false
+		}
+	}
+	return v, true
+}

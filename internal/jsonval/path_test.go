@@ -1,0 +1,141 @@
+package jsonval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePathNormalises(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Path
+	}{
+		{"", RootPath},
+		{"/", RootPath},
+		{"/a", Path("/a")},
+		{"a", Path("/a")},
+		{"/a/b/", Path("/a/b")},
+		{"/user/name", Path("/user/name")},
+	}
+	for _, c := range cases {
+		if got := ParsePath(c.in); got != c.want {
+			t.Errorf("ParsePath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPathSegmentsAndDepth(t *testing.T) {
+	p := ParsePath("/a/b/c")
+	segs := p.Segments()
+	if len(segs) != 3 || segs[0] != "a" || segs[2] != "c" {
+		t.Errorf("Segments = %v", segs)
+	}
+	if p.Depth() != 3 {
+		t.Errorf("Depth = %d", p.Depth())
+	}
+	if RootPath.Depth() != 0 || len(RootPath.Segments()) != 0 {
+		t.Errorf("root path has segments/depth")
+	}
+}
+
+func TestPathParentChildLeaf(t *testing.T) {
+	p := ParsePath("/a/b")
+	if p.Parent() != Path("/a") {
+		t.Errorf("Parent = %q", p.Parent())
+	}
+	if Path("/a").Parent() != RootPath {
+		t.Errorf("Parent of depth-1 path = %q", Path("/a").Parent())
+	}
+	if RootPath.Parent() != RootPath {
+		t.Errorf("Parent of root = %q", RootPath.Parent())
+	}
+	if p.Child("c") != Path("/a/b/c") {
+		t.Errorf("Child = %q", p.Child("c"))
+	}
+	if p.Leaf() != "b" {
+		t.Errorf("Leaf = %q", p.Leaf())
+	}
+	if RootPath.Leaf() != "" {
+		t.Errorf("root Leaf = %q", RootPath.Leaf())
+	}
+}
+
+func TestPathAncestry(t *testing.T) {
+	if !Path("/a").IsAncestorOf(Path("/a/b")) {
+		t.Errorf("/a not ancestor of /a/b")
+	}
+	if Path("/a").IsAncestorOf(Path("/ab")) {
+		t.Errorf("/a claimed ancestor of /ab")
+	}
+	if Path("/a/b").IsAncestorOf(Path("/a")) {
+		t.Errorf("/a/b claimed ancestor of /a")
+	}
+	if Path("/a").IsAncestorOf(Path("/a")) {
+		t.Errorf("path claimed ancestor of itself")
+	}
+	if !RootPath.IsAncestorOf(Path("/x")) {
+		t.Errorf("root not ancestor of /x")
+	}
+	if RootPath.IsAncestorOf(RootPath) {
+		t.Errorf("root claimed ancestor of itself")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if RootPath.String() != "/" {
+		t.Errorf("root renders as %q", RootPath.String())
+	}
+	if ParsePath("/a/b").String() != "/a/b" {
+		t.Errorf("path renders as %q", ParsePath("/a/b").String())
+	}
+}
+
+func TestPathLookup(t *testing.T) {
+	doc := mustParse(t, `{"a":{"b":{"c":42},"x":[1,2]},"top":true}`)
+	cases := []struct {
+		path  string
+		want  Value
+		found bool
+	}{
+		{"/a/b/c", IntValue(42), true},
+		{"/top", BoolValue(true), true},
+		{"/a/x", ArrayValue(IntValue(1), IntValue(2)), true},
+		{"/a/b/missing", Value{}, false},
+		{"/a/x/0", Value{}, false}, // paths do not index arrays
+		{"/top/deeper", Value{}, false},
+	}
+	for _, c := range cases {
+		got, ok := ParsePath(c.path).Lookup(doc)
+		if ok != c.found {
+			t.Errorf("Lookup(%q) found=%v, want %v", c.path, ok, c.found)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("Lookup(%q) = %s, want %s", c.path, got, c.want)
+		}
+	}
+	if v, ok := RootPath.Lookup(doc); !ok || !v.Equal(doc) {
+		t.Errorf("root lookup failed")
+	}
+}
+
+func TestPathParentChildInverseProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(vs []reflect.Value, r *rand.Rand) {
+		depth := 1 + r.Intn(5)
+		p := RootPath
+		for i := 0; i < depth; i++ {
+			p = p.Child(string(rune('a' + r.Intn(26))))
+		}
+		vs[0] = reflect.ValueOf(p)
+		vs[1] = reflect.ValueOf(string(rune('a' + r.Intn(26))))
+	}}
+	prop := func(p Path, name string) bool {
+		c := p.Child(name)
+		return c.Parent() == p && c.Leaf() == name && p.IsAncestorOf(c) && c.Depth() == p.Depth()+1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

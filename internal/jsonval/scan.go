@@ -1,0 +1,125 @@
+package jsonval
+
+// ScanValue reports the length in bytes of the first complete JSON value in
+// data, including leading whitespace, without building a value tree. It
+// returns 0 when data holds only the prefix of a value; atEOF indicates no
+// further input will arrive, which resolves the ambiguity of top-level
+// numbers ("12" may be the prefix of "123").
+//
+// The scanner validates only as much structure as boundary detection needs;
+// callers parse the returned chunk for full validation. A chunk that cannot
+// even be scanned yields a SyntaxError.
+func ScanValue(data []byte, atEOF bool) (int, error) {
+	i := 0
+	for i < len(data) && isSpace(data[i]) {
+		i++
+	}
+	if i == len(data) {
+		return 0, nil
+	}
+	switch c := data[i]; {
+	case c == '{' || c == '[':
+		n, err := scanComposite(data[i:])
+		if n == 0 || err != nil {
+			return 0, err
+		}
+		return i + n, nil
+	case c == '"':
+		n, err := scanString(data[i:])
+		if n == 0 || err != nil {
+			return 0, err
+		}
+		return i + n, nil
+	case c == 't':
+		return scanLiteral(data, i, "true", atEOF)
+	case c == 'f':
+		return scanLiteral(data, i, "false", atEOF)
+	case c == 'n':
+		return scanLiteral(data, i, "null", atEOF)
+	case c == '-' || (c >= '0' && c <= '9'):
+		j := i
+		for j < len(data) && isNumberChar(data[j]) {
+			j++
+		}
+		if j == len(data) && !atEOF {
+			return 0, nil // may continue in the next read
+		}
+		return j, nil
+	default:
+		return 0, &SyntaxError{Offset: i, Msg: "unexpected character at document start"}
+	}
+}
+
+func scanLiteral(data []byte, i int, lit string, atEOF bool) (int, error) {
+	avail := len(data) - i
+	if avail > len(lit) {
+		avail = len(lit)
+	}
+	if string(data[i:i+avail]) != lit[:avail] {
+		return 0, &SyntaxError{Offset: i, Msg: "invalid literal"}
+	}
+	if avail < len(lit) {
+		if atEOF {
+			return 0, &SyntaxError{Offset: i, Msg: "truncated literal"}
+		}
+		return 0, nil
+	}
+	return i + len(lit), nil
+}
+
+// scanComposite walks an object or array, tracking nesting depth and string
+// state. It returns 0 when data ends inside the value.
+func scanComposite(data []byte) (int, error) {
+	depth := 0
+	i := 0
+	for i < len(data) {
+		switch data[i] {
+		case '{', '[':
+			depth++
+			i++
+		case '}', ']':
+			depth--
+			i++
+			if depth == 0 {
+				return i, nil
+			}
+			if depth < 0 {
+				return 0, &SyntaxError{Offset: i, Msg: "unbalanced closing bracket"}
+			}
+		case '"':
+			n, err := scanString(data[i:])
+			if err != nil {
+				return 0, err
+			}
+			if n == 0 {
+				return 0, nil
+			}
+			i += n
+		default:
+			i++
+		}
+	}
+	return 0, nil
+}
+
+// scanString returns the byte length of the string literal at the start of
+// data (including quotes), or 0 if it is unterminated.
+func scanString(data []byte) (int, error) {
+	for i := 1; i < len(data); i++ {
+		switch data[i] {
+		case '\\':
+			i++ // skip escaped character (may be the closing quote)
+		case '"':
+			return i + 1, nil
+		}
+	}
+	return 0, nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isNumberChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}

@@ -1,0 +1,309 @@
+package jsonval
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue builds an arbitrary JSON value for property tests. Nesting is
+// bounded by depth.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 7
+	if depth <= 0 {
+		max = 5 // leaves only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return NullValue()
+	case 1:
+		return BoolValue(r.Intn(2) == 0)
+	case 2:
+		return IntValue(r.Int63() - r.Int63())
+	case 3:
+		for {
+			f := math.Float64frombits(r.Uint64())
+			if !math.IsNaN(f) && !math.IsInf(f, 0) {
+				return FloatValue(f)
+			}
+		}
+	case 4:
+		return StringValue(randomString(r))
+	case 5:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return ArrayValue(elems...)
+	default:
+		n := r.Intn(4)
+		members := make([]Member, 0, n)
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := randomString(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			members = append(members, Member{Key: k, Value: randomValue(r, depth-1)})
+		}
+		return ObjectValue(members...)
+	}
+}
+
+func randomString(r *rand.Rand) string {
+	n := r.Intn(12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			sb.WriteRune(rune(r.Intn(0x20))) // control chars must be escaped
+		case 1:
+			sb.WriteRune(rune(0x80 + r.Intn(0x2000))) // multi-byte
+		case 2:
+			sb.WriteRune([]rune{'"', '\\', '/', '\n'}[r.Intn(4)])
+		case 3:
+			sb.WriteRune(rune(0x10000 + r.Intn(0x500))) // astral plane
+		default:
+			sb.WriteByte(byte('a' + r.Intn(26)))
+		}
+	}
+	return sb.String()
+}
+
+// strictEqual is like Equal but also requires identical kinds and object
+// member order, i.e. exact representation equality.
+func strictEqual(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case Null:
+		return true
+	case Bool:
+		return a.Bool() == b.Bool()
+	case Int:
+		return a.Int() == b.Int()
+	case Float:
+		return a.Float() == b.Float()
+	case String:
+		return a.Str() == b.Str()
+	case Array:
+		ae, be := a.Array(), b.Array()
+		if len(ae) != len(be) {
+			return false
+		}
+		for i := range ae {
+			if !strictEqual(ae[i], be[i]) {
+				return false
+			}
+		}
+		return true
+	case Object:
+		am, bm := a.Members(), b.Members()
+		if len(am) != len(bm) {
+			return false
+		}
+		for i := range am {
+			if am[i].Key != bm[i].Key || !strictEqual(am[i].Value, bm[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Null: "null", Bool: "bool", Int: "int", Float: "float",
+		String: "string", Object: "object", Array: "array",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != Null {
+		t.Fatalf("zero Value is not null: kind=%v", v.Kind())
+	}
+	if v.String() != "null" {
+		t.Fatalf("zero Value renders as %q", v.String())
+	}
+}
+
+func TestAccessorsPanicOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Int() on a string did not panic")
+		}
+	}()
+	_ = StringValue("x").Int()
+}
+
+func TestFieldLookup(t *testing.T) {
+	obj := ObjectValue(
+		Member{"a", IntValue(1)},
+		Member{"b", StringValue("two")},
+	)
+	if v, ok := obj.Field("b"); !ok || v.Str() != "two" {
+		t.Errorf("Field(b) = %v, %v", v, ok)
+	}
+	if _, ok := obj.Field("missing"); ok {
+		t.Errorf("Field(missing) unexpectedly found")
+	}
+	if _, ok := IntValue(1).Field("a"); ok {
+		t.Errorf("Field on non-object unexpectedly found")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	arr := ArrayValue(IntValue(10), IntValue(20))
+	if v, ok := arr.Index(1); !ok || v.Int() != 20 {
+		t.Errorf("Index(1) = %v, %v", v, ok)
+	}
+	if _, ok := arr.Index(2); ok {
+		t.Errorf("Index(2) out of range but found")
+	}
+	if _, ok := arr.Index(-1); ok {
+		t.Errorf("Index(-1) out of range but found")
+	}
+	if _, ok := StringValue("x").Index(0); ok {
+		t.Errorf("Index on non-array unexpectedly found")
+	}
+}
+
+func TestLen(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{ArrayValue(IntValue(1), IntValue(2)), 2},
+		{ObjectValue(Member{"a", NullValue()}), 1},
+		{StringValue("abc"), 3},
+		{IntValue(5), 0},
+		{NullValue(), 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Len(); got != c.want {
+			t.Errorf("Len(%s) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqualNumericCrossKind(t *testing.T) {
+	if !IntValue(5).Equal(FloatValue(5.0)) {
+		t.Errorf("5 != 5.0")
+	}
+	if IntValue(5).Equal(FloatValue(5.5)) {
+		t.Errorf("5 == 5.5")
+	}
+	if IntValue(5).Equal(StringValue("5")) {
+		t.Errorf("5 == \"5\"")
+	}
+}
+
+func TestEqualObjectsOrderInsensitive(t *testing.T) {
+	a := ObjectValue(Member{"x", IntValue(1)}, Member{"y", IntValue(2)})
+	b := ObjectValue(Member{"y", IntValue(2)}, Member{"x", IntValue(1)})
+	if !a.Equal(b) {
+		t.Errorf("order-permuted objects not Equal")
+	}
+	c := ObjectValue(Member{"x", IntValue(1)}, Member{"z", IntValue(2)})
+	if a.Equal(c) {
+		t.Errorf("objects with different keys Equal")
+	}
+}
+
+func TestEqualArrays(t *testing.T) {
+	a := ArrayValue(IntValue(1), StringValue("s"))
+	if !a.Equal(ArrayValue(IntValue(1), StringValue("s"))) {
+		t.Errorf("identical arrays not Equal")
+	}
+	if a.Equal(ArrayValue(StringValue("s"), IntValue(1))) {
+		t.Errorf("reordered arrays Equal")
+	}
+	if a.Equal(ArrayValue(IntValue(1))) {
+		t.Errorf("different-length arrays Equal")
+	}
+}
+
+func TestCompareOrdersNumbers(t *testing.T) {
+	if IntValue(3).Compare(FloatValue(3.5)) >= 0 {
+		t.Errorf("3 >= 3.5")
+	}
+	if FloatValue(4.0).Compare(IntValue(4)) != 0 {
+		t.Errorf("4.0 != 4 under Compare")
+	}
+	if StringValue("a").Compare(StringValue("b")) >= 0 {
+		t.Errorf("a >= b")
+	}
+	if BoolValue(false).Compare(BoolValue(true)) >= 0 {
+		t.Errorf("false >= true")
+	}
+	if NullValue().Compare(NullValue()) != 0 {
+		t.Errorf("null != null")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("Compare not antisymmetric for %s vs %s", a, b)
+		}
+	}
+}
+
+func TestGroupKeyDistinguishes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		ka, kb := a.GroupKey(), b.GroupKey()
+		if a.Equal(b) && ka != kb {
+			t.Fatalf("equal values with different group keys: %s vs %s", a, b)
+		}
+		if !a.Equal(b) && ka == kb {
+			t.Fatalf("distinct values with same group key %q: %s vs %s", ka, a, b)
+		}
+	}
+}
+
+func TestGroupKeyIntFloatAlignment(t *testing.T) {
+	if IntValue(7).GroupKey() != FloatValue(7.0).GroupKey() {
+		t.Errorf("7 and 7.0 should share a group key")
+	}
+	if IntValue(7).GroupKey() == FloatValue(7.5).GroupKey() {
+		t.Errorf("7 and 7.5 must not share a group key")
+	}
+}
+
+func TestGroupKeyStringEmbedding(t *testing.T) {
+	// Length prefixes must prevent ambiguous concatenations.
+	a := ArrayValue(StringValue("ab"), StringValue("c"))
+	b := ArrayValue(StringValue("a"), StringValue("bc"))
+	if a.GroupKey() == b.GroupKey() {
+		t.Errorf("[ab,c] and [a,bc] share a group key")
+	}
+}
+
+func TestEqualPropertyReflexive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(randomValue(r, 3))
+	}}
+	if err := quick.Check(func(v Value) bool { return v.Equal(v) }, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package jsonval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAppendJSONScalars(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NullValue(), "null"},
+		{BoolValue(true), "true"},
+		{BoolValue(false), "false"},
+		{IntValue(-42), "-42"},
+		{FloatValue(2.5), "2.5"},
+		{FloatValue(3), "3.0"},
+		{FloatValue(1e21), "1e+21"},
+		{StringValue("plain"), `"plain"`},
+		{StringValue("say \"hi\"\n"), `"say \"hi\"\n"`},
+		{ArrayValue(), "[]"},
+		{ObjectValue(), "{}"},
+		{ArrayValue(IntValue(1), StringValue("x")), `[1,"x"]`},
+		{ObjectValue(Member{"k", NullValue()}), `{"k":null}`},
+	}
+	for _, c := range cases {
+		if got := string(AppendJSON(nil, c.v)); got != c.want {
+			t.Errorf("AppendJSON(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestAppendJSONNonFiniteFloats(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := string(AppendJSON(nil, FloatValue(f))); got != "null" {
+			t.Errorf("AppendJSON(%v) = %q, want null", f, got)
+		}
+	}
+}
+
+func TestAppendQuotedControlChars(t *testing.T) {
+	got := string(AppendQuoted(nil, "a\x00b\x1fc"))
+	if got != `"a\u0000b\u001fc"` {
+		t.Errorf("control chars escaped as %q", got)
+	}
+}
+
+func TestAppendQuotedInvalidUTF8(t *testing.T) {
+	got := string(AppendQuoted(nil, "ok\xffend"))
+	if !strings.Contains(got, "�") {
+		t.Errorf("invalid byte not replaced: %q", got)
+	}
+	if _, err := Parse([]byte(got)); err != nil {
+		t.Errorf("escaped invalid UTF-8 does not reparse: %v", err)
+	}
+}
+
+func TestWriteAppendsNewline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, ObjectValue(Member{"a", IntValue(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "{\"a\":1}\n" {
+		t.Errorf("Write produced %q", buf.String())
+	}
+}
+
+func TestStringMethodMatchesAppendJSON(t *testing.T) {
+	v := ObjectValue(Member{"a", ArrayValue(IntValue(1), FloatValue(2.5))})
+	if v.String() != string(AppendJSON(nil, v)) {
+		t.Errorf("String() diverges from AppendJSON")
+	}
+}

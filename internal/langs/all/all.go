@@ -1,0 +1,12 @@
+// Package all registers every built-in BETZE language translator. Import it
+// for side effects:
+//
+//	import _ "github.com/joda-explore/betze/internal/langs/all"
+package all
+
+import (
+	_ "github.com/joda-explore/betze/internal/langs/joda"
+	_ "github.com/joda-explore/betze/internal/langs/jq"
+	_ "github.com/joda-explore/betze/internal/langs/mongodb"
+	_ "github.com/joda-explore/betze/internal/langs/postgres"
+)

@@ -1,0 +1,127 @@
+// Package joda translates BETZE queries into JODA syntax (LOAD … CHOOSE …
+// AGG … STORE …). Importing the package registers the language under the
+// short name "joda".
+package joda
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+func init() {
+	langs.Register(Language{})
+}
+
+// Language implements langs.Language for JODA.
+type Language struct{}
+
+// Name implements langs.Language.
+func (Language) Name() string { return "JODA" }
+
+// ShortName implements langs.Language.
+func (Language) ShortName() string { return "joda" }
+
+// Header implements langs.Language.
+func (Language) Header() string { return "" }
+
+// Comment implements langs.Language.
+func (Language) Comment(comment string) string { return "# " + comment }
+
+// QueryDelimiter implements langs.Language.
+func (Language) QueryDelimiter() string { return ";" }
+
+// Translate implements langs.Language.
+func (Language) Translate(q *query.Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "LOAD %s", q.Base)
+	if q.Filter != nil {
+		fmt.Fprintf(&sb, " CHOOSE %s", predicate(q.Filter))
+	}
+	if q.Transform != nil {
+		sb.WriteString(" AS " + transform(q.Transform))
+	}
+	if q.Agg != nil {
+		sb.WriteString(" AGG ")
+		field := strings.ToLower(q.Agg.Func.String())
+		if q.Agg.Grouped {
+			fmt.Fprintf(&sb, "GROUP %s('%s') AS %s BY '%s'",
+				q.Agg.Func, ptr(q.Agg.Path), field, ptr(q.Agg.GroupBy))
+		} else {
+			fmt.Fprintf(&sb, "('/%s': %s('%s'))", field, q.Agg.Func, ptr(q.Agg.Path))
+		}
+	}
+	if q.Store != "" {
+		fmt.Fprintf(&sb, " STORE %s", q.Store)
+	}
+	return sb.String()
+}
+
+// transform renders the transform stage as a JODA AS projection: the
+// document is kept (”), renamed attributes are copied and their sources
+// dropped, removals drop, additions set constants.
+func transform(t *query.Transform) string {
+	parts := []string{"('': '')"}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case query.TransformRename:
+			target := op.Path.Parent().Child(op.NewName)
+			parts = append(parts,
+				fmt.Sprintf("('%s': '%s')", ptr(target), ptr(op.Path)),
+				fmt.Sprintf("('%s': )", ptr(op.Path)))
+		case query.TransformRemove:
+			parts = append(parts, fmt.Sprintf("('%s': )", ptr(op.Path)))
+		case query.TransformAdd:
+			parts = append(parts, fmt.Sprintf("('%s': %s)", ptr(op.Path), op.Value))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ptr renders a path as a JODA JSON pointer; the root is the empty pointer.
+func ptr(p jsonval.Path) string {
+	if p == jsonval.RootPath {
+		return ""
+	}
+	return string(p)
+}
+
+func predicate(p query.Predicate) string {
+	switch n := p.(type) {
+	case query.And:
+		return "(" + predicate(n.Left) + " && " + predicate(n.Right) + ")"
+	case query.Or:
+		return "(" + predicate(n.Left) + " || " + predicate(n.Right) + ")"
+	case query.Exists:
+		return fmt.Sprintf("EXISTS('%s')", ptr(n.Path))
+	case query.IsString:
+		return fmt.Sprintf("ISSTRING('%s')", ptr(n.Path))
+	case query.IntEq:
+		return fmt.Sprintf("'%s' == %d", ptr(n.Path), n.Value)
+	case query.FloatCmp:
+		return fmt.Sprintf("'%s' %s %s", ptr(n.Path), n.Op, formatFloat(n.Value))
+	case query.StrEq:
+		return fmt.Sprintf("'%s' == %s", ptr(n.Path), quote(n.Value))
+	case query.HasPrefix:
+		return fmt.Sprintf("STARTSWITH('%s', %s)", ptr(n.Path), quote(n.Prefix))
+	case query.BoolEq:
+		return fmt.Sprintf("'%s' == %t", ptr(n.Path), n.Value)
+	case query.ArrSize:
+		return fmt.Sprintf("SIZE('%s') %s %d", ptr(n.Path), n.Op, n.Value)
+	case query.ObjSize:
+		return fmt.Sprintf("MEMCOUNT('%s') %s %d", ptr(n.Path), n.Op, n.Value)
+	default:
+		return p.String()
+	}
+}
+
+func quote(s string) string {
+	return string(jsonval.AppendQuoted(nil, s))
+}
+
+func formatFloat(f float64) string {
+	return string(jsonval.AppendJSON(nil, jsonval.FloatValue(f)))
+}

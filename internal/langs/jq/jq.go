@@ -1,0 +1,175 @@
+// Package jq translates BETZE queries into jq command lines, mirroring the
+// two-stage pipelines of the paper (a filter pass and, for aggregations, a
+// slurped reduce pass). Importing the package registers the language under
+// the short name "jq".
+package jq
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+func init() {
+	langs.Register(Language{})
+}
+
+// Language implements langs.Language for jq.
+type Language struct{}
+
+// Name implements langs.Language.
+func (Language) Name() string { return "jq" }
+
+// ShortName implements langs.Language.
+func (Language) ShortName() string { return "jq" }
+
+// Header implements langs.Language.
+func (Language) Header() string { return "#!/bin/sh" }
+
+// Comment implements langs.Language.
+func (Language) Comment(comment string) string { return "# " + comment }
+
+// QueryDelimiter implements langs.Language.
+func (Language) QueryDelimiter() string { return "" }
+
+// Translate implements langs.Language. The base dataset is addressed as
+// <base>.json in the working directory; a stored result becomes a new file,
+// which is how jq materialises datasets.
+func (Language) Translate(q *query.Query) string {
+	filter := "inputs"
+	if q.Filter != nil {
+		filter = "inputs | select(" + expr(q.Filter) + ")"
+	}
+	if q.Transform != nil {
+		filter += transformPipeline(q.Transform)
+	}
+	cmd := fmt.Sprintf("jq -c -n %s %s.json", shellQuote(filter), q.Base)
+	if q.Agg != nil {
+		cmd += " | jq -s -c " + shellQuote(aggExpr(q.Agg))
+	}
+	if q.Store != "" {
+		cmd += fmt.Sprintf(" > %s.json", q.Store)
+	}
+	return cmd
+}
+
+// transformPipeline renders the transform as jq pipeline steps.
+func transformPipeline(t *query.Transform) string {
+	var sb strings.Builder
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case query.TransformRename:
+			target := op.Path.Parent().Child(op.NewName)
+			fmt.Fprintf(&sb, " | (if %s then setpath(%s; getpath(%s)) | delpaths([%s]) else . end)",
+				existsExpr(op.Path), pathArray(target), pathArray(op.Path), pathArray(op.Path))
+		case query.TransformRemove:
+			fmt.Fprintf(&sb, " | delpaths([%s])", pathArray(op.Path))
+		case query.TransformAdd:
+			fmt.Fprintf(&sb, " | setpath(%s; %s)", pathArray(op.Path), op.Value)
+		}
+	}
+	return sb.String()
+}
+
+// pathArray renders a path as a jq string array, e.g. ["user","name"].
+func pathArray(p jsonval.Path) string {
+	segs := p.Segments()
+	quoted := make([]string, len(segs))
+	for i, s := range segs {
+		quoted[i] = string(jsonval.AppendQuoted(nil, s))
+	}
+	return "[" + strings.Join(quoted, ",") + "]"
+}
+
+// get renders a safe path access that yields null when any ancestor is
+// missing or not an object.
+func get(p jsonval.Path) string {
+	if p == jsonval.RootPath {
+		return "."
+	}
+	return fmt.Sprintf("(try getpath(%s) catch null)", pathArray(p))
+}
+
+// existsExpr distinguishes a present null value from an absent attribute,
+// which getpath alone cannot: it checks has() along the chain.
+func existsExpr(p jsonval.Path) string {
+	if p == jsonval.RootPath {
+		return "true"
+	}
+	parent := p.Parent()
+	leaf := string(jsonval.AppendQuoted(nil, p.Leaf()))
+	parentGet := get(parent)
+	return fmt.Sprintf("(%s | (type == \"object\" and has(%s)))", parentGet, leaf)
+}
+
+func expr(p query.Predicate) string {
+	switch n := p.(type) {
+	case query.And:
+		return "(" + expr(n.Left) + " and " + expr(n.Right) + ")"
+	case query.Or:
+		return "(" + expr(n.Left) + " or " + expr(n.Right) + ")"
+	case query.Exists:
+		return existsExpr(n.Path)
+	case query.IsString:
+		return fmt.Sprintf("(%s | type == \"string\")", get(n.Path))
+	case query.IntEq:
+		return fmt.Sprintf("(%s == %d)", get(n.Path), n.Value)
+	case query.FloatCmp:
+		val := string(jsonval.AppendJSON(nil, jsonval.FloatValue(n.Value)))
+		return fmt.Sprintf("(%s | (type == \"number\" and . %s %s))", get(n.Path), jqOp(n.Op), val)
+	case query.StrEq:
+		return fmt.Sprintf("(%s == %s)", get(n.Path), string(jsonval.AppendQuoted(nil, n.Value)))
+	case query.HasPrefix:
+		return fmt.Sprintf("(%s | (type == \"string\" and startswith(%s)))", get(n.Path), string(jsonval.AppendQuoted(nil, n.Prefix)))
+	case query.BoolEq:
+		return fmt.Sprintf("(%s == %t)", get(n.Path), n.Value)
+	case query.ArrSize:
+		return fmt.Sprintf("(%s | (type == \"array\" and (length %s %d)))", get(n.Path), jqOp(n.Op), n.Value)
+	case query.ObjSize:
+		return fmt.Sprintf("(%s | (type == \"object\" and (length %s %d)))", get(n.Path), jqOp(n.Op), n.Value)
+	default:
+		return "true"
+	}
+}
+
+func aggExpr(agg *query.Aggregation) string {
+	var acc func(sel string) string
+	switch agg.Func {
+	case query.Count:
+		if agg.Path != jsonval.RootPath {
+			// COUNT(<ptr>) counts the documents that have the attribute.
+			acc = func(sel string) string {
+				return fmt.Sprintf("([%s[] | select(%s)] | length)", sel, existsExpr(agg.Path))
+			}
+		} else {
+			acc = func(sel string) string { return fmt.Sprintf("(%s | length)", sel) }
+		}
+		if !agg.Grouped {
+			return fmt.Sprintf("{count: %s}", acc("."))
+		}
+	case query.Sum:
+		acc = func(sel string) string {
+			return fmt.Sprintf("([%s[] | %s | numbers] | add // 0)", sel, get(agg.Path))
+		}
+		if !agg.Grouped {
+			return fmt.Sprintf("{sum: %s}", acc("."))
+		}
+	}
+	groupGet := get(agg.GroupBy)
+	field := strings.ToLower(agg.Func.String())
+	return fmt.Sprintf("group_by(%s) | map({group: (.[0] | %s), %s: %s})",
+		groupGet, groupGet, field, acc("."))
+}
+
+func jqOp(op query.CmpOp) string {
+	return op.String() // jq shares <, <=, >, >=, ==
+}
+
+// shellQuote wraps a jq program in single quotes for the shell, escaping
+// embedded single quotes.
+func shellQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}

@@ -1,0 +1,122 @@
+// Package langs defines the Language interface of the paper (Listing 3) —
+// the extension point through which BETZE emits system-specific query files —
+// and a registry of implementations.
+//
+// Implementations live in subpackages (joda, mongodb, jq, postgres) and
+// register themselves in init, following the database/sql driver pattern:
+// importing a language package makes it available by short name. Package
+// internal/langs/all imports every built-in language for convenience.
+package langs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// Language translates BETZE's internal query representation into the query
+// syntax of one system under test. Implementations must be stateless or
+// safe for concurrent use.
+type Language interface {
+	// Name is the display name of the language ("MongoDB").
+	Name() string
+	// ShortName is the unique identifier used in file names and the CLI
+	// ("mongodb").
+	ShortName() string
+	// Translate renders a query in the language.
+	Translate(q *query.Query) string
+	// Comment wraps a line in the system-specific comment syntax.
+	Comment(comment string) string
+	// Header returns the preface of a generated query file ("" if none).
+	Header() string
+	// QueryDelimiter is the symbol terminating each query.
+	QueryDelimiter() string
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Language)
+)
+
+// Register makes a language available by its short name. It panics when the
+// short name is empty or already taken, mirroring database/sql.Register.
+func Register(l Language) {
+	mu.Lock()
+	defer mu.Unlock()
+	short := l.ShortName()
+	if short == "" {
+		panic("langs: Register with empty short name")
+	}
+	if _, dup := registry[short]; dup {
+		panic("langs: Register called twice for " + short)
+	}
+	registry[short] = l
+}
+
+// ByShortName looks a language up, reporting the registered alternatives on
+// a miss.
+func ByShortName(short string) (Language, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	if l, ok := registry[short]; ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("langs: unknown language %q (registered: %s)", short, strings.Join(shortNamesLocked(), ", "))
+}
+
+// All returns every registered language, sorted by short name.
+func All() []Language {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Language, 0, len(registry))
+	for _, short := range shortNamesLocked() {
+		out = append(out, registry[short])
+	}
+	return out
+}
+
+// ShortNames returns the registered short names, sorted.
+func ShortNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return shortNamesLocked()
+}
+
+func shortNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for short := range registry {
+		names = append(names, short)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Script renders a full session — a sequence of queries — as one executable
+// file in the given language: header, then each query preceded by a comment
+// naming it and terminated by the language's delimiter.
+func Script(l Language, queries []*query.Query) string {
+	var sb strings.Builder
+	if h := l.Header(); h != "" {
+		sb.WriteString(h)
+		if !strings.HasSuffix(h, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
+	for _, q := range queries {
+		label := q.ID
+		if label == "" {
+			label = q.String()
+		} else {
+			label = fmt.Sprintf("%s: %s", q.ID, q)
+		}
+		sb.WriteString(l.Comment(label))
+		sb.WriteByte('\n')
+		sb.WriteString(l.Translate(q))
+		sb.WriteString(l.QueryDelimiter())
+		sb.WriteString("\n\n")
+	}
+	return sb.String()
+}

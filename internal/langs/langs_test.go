@@ -1,0 +1,280 @@
+package langs_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	_ "github.com/joda-explore/betze/internal/langs/all"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// listing1Query is the example of Listing 1: a Boolean filter on
+// /retweeted_status/user/verified with a count grouped by /user/time_zone.
+func listing1Query() *query.Query {
+	return &query.Query{
+		ID:     "q1",
+		Base:   "Twitter",
+		Filter: query.BoolEq{Path: "/retweeted_status/user/verified", Value: false},
+		Agg: &query.Aggregation{
+			Func:    query.Count,
+			Path:    jsonval.RootPath,
+			Grouped: true,
+			GroupBy: "/user/time_zone",
+		},
+	}
+}
+
+func TestRegistryHasAllFourSystems(t *testing.T) {
+	want := []string{"joda", "jq", "mongodb", "postgres"}
+	got := langs.ShortNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("registered languages = %v, want %v", got, want)
+	}
+	for _, short := range want {
+		l, err := langs.ByShortName(short)
+		if err != nil {
+			t.Fatalf("ByShortName(%q): %v", short, err)
+		}
+		if l.ShortName() != short {
+			t.Errorf("ShortName mismatch: %q vs %q", l.ShortName(), short)
+		}
+		if l.Name() == "" {
+			t.Errorf("%q has empty display name", short)
+		}
+	}
+	if len(langs.All()) != 4 {
+		t.Errorf("All() = %d languages", len(langs.All()))
+	}
+}
+
+func TestByShortNameUnknown(t *testing.T) {
+	_, err := langs.ByShortName("oracle")
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown language error = %v", err)
+	}
+}
+
+func TestListing1Translations(t *testing.T) {
+	q := listing1Query()
+	want := map[string][]string{
+		"joda": {
+			"LOAD Twitter",
+			"CHOOSE '/retweeted_status/user/verified' == false",
+			"AGG GROUP COUNT('') AS count BY '/user/time_zone'",
+		},
+		"mongodb": {
+			"db.Twitter.aggregate([",
+			`{ $match: { "retweeted_status.user.verified": false } }`,
+			`{ $group: { _id: "$user.time_zone", count: { $sum: 1 } } }`,
+		},
+		"jq": {
+			"jq -c -n",
+			"getpath([\"retweeted_status\",\"user\",\"verified\"])",
+			"== false",
+			"Twitter.json",
+			"jq -s -c",
+			"group_by(",
+		},
+		"postgres": {
+			"SELECT doc #> '{user,time_zone}' AS group, COUNT(*) AS count FROM Twitter",
+			"jsonb_path_exists(doc, '$.retweeted_status.user.verified ? (@ == false)')",
+			"GROUP BY doc #> '{user,time_zone}'",
+		},
+	}
+	for short, fragments := range want {
+		l, err := langs.ByShortName(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := l.Translate(q)
+		for _, frag := range fragments {
+			if !strings.Contains(got, frag) {
+				t.Errorf("%s translation missing %q:\n%s", short, frag, got)
+			}
+		}
+	}
+}
+
+func TestTranslateEveryLeafPredicateEveryLanguage(t *testing.T) {
+	preds := []query.Predicate{
+		query.Exists{Path: "/a/b"},
+		query.IsString{Path: "/a"},
+		query.IntEq{Path: "/n", Value: 42},
+		query.FloatCmp{Path: "/f", Op: query.Ge, Value: 1.5},
+		query.StrEq{Path: "/s", Value: "x\"y"},
+		query.HasPrefix{Path: "/s", Prefix: "pre"},
+		query.BoolEq{Path: "/b", Value: true},
+		query.ArrSize{Path: "/arr", Op: query.Gt, Value: 2},
+		query.ObjSize{Path: "/obj", Op: query.Le, Value: 5},
+		query.And{Left: query.Exists{Path: "/a"}, Right: query.BoolEq{Path: "/b", Value: false}},
+		query.Or{Left: query.IsString{Path: "/a"}, Right: query.IntEq{Path: "/n", Value: 1}},
+	}
+	for _, l := range langs.All() {
+		for _, p := range preds {
+			q := &query.Query{Base: "ds", Filter: p}
+			got := l.Translate(q)
+			if got == "" {
+				t.Errorf("%s produced empty translation for %s", l.ShortName(), p)
+			}
+			if !strings.Contains(got, "ds") {
+				t.Errorf("%s translation does not reference base dataset: %s", l.ShortName(), got)
+			}
+		}
+	}
+}
+
+func TestTranslateAggregationVariants(t *testing.T) {
+	aggs := []*query.Aggregation{
+		{Func: query.Count, Path: jsonval.RootPath},
+		{Func: query.Count, Path: "/x"},
+		{Func: query.Sum, Path: "/x"},
+		{Func: query.Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/g"},
+		{Func: query.Sum, Path: "/x", Grouped: true, GroupBy: "/g"},
+	}
+	for _, l := range langs.All() {
+		for _, a := range aggs {
+			q := &query.Query{Base: "ds", Agg: a}
+			if got := l.Translate(q); got == "" {
+				t.Errorf("%s: empty translation for %s", l.ShortName(), a)
+			}
+		}
+	}
+}
+
+func TestTranslateStore(t *testing.T) {
+	q := &query.Query{Base: "ds", Store: "derived", Filter: query.Exists{Path: "/a"}}
+	wantFragment := map[string]string{
+		"joda":     "STORE derived",
+		"mongodb":  `$out: "derived"`,
+		"jq":       "> derived.json",
+		"postgres": "CREATE TABLE derived AS",
+	}
+	for short, frag := range wantFragment {
+		l, _ := langs.ByShortName(short)
+		if got := l.Translate(q); !strings.Contains(got, frag) {
+			t.Errorf("%s store translation missing %q:\n%s", short, frag, got)
+		}
+	}
+}
+
+func TestCommentSyntax(t *testing.T) {
+	want := map[string]string{
+		"joda":     "# hello",
+		"mongodb":  "// hello",
+		"jq":       "# hello",
+		"postgres": "-- hello",
+	}
+	for short, w := range want {
+		l, _ := langs.ByShortName(short)
+		if got := l.Comment("hello"); got != w {
+			t.Errorf("%s comment = %q, want %q", short, got, w)
+		}
+	}
+}
+
+func TestScript(t *testing.T) {
+	l, _ := langs.ByShortName("postgres")
+	queries := []*query.Query{
+		{ID: "q1", Base: "ds", Filter: query.Exists{Path: "/a"}},
+		{ID: "q2", Base: "ds", Filter: query.Exists{Path: "/b"}},
+	}
+	script := langs.Script(l, queries)
+	if strings.Count(script, ";") != 2 {
+		t.Errorf("script does not terminate both queries:\n%s", script)
+	}
+	if !strings.Contains(script, "-- q1:") || !strings.Contains(script, "-- q2:") {
+		t.Errorf("script missing query comments:\n%s", script)
+	}
+	jql, _ := langs.ByShortName("jq")
+	jqScript := langs.Script(jql, queries)
+	if !strings.HasPrefix(jqScript, "#!/bin/sh\n") {
+		t.Errorf("jq script missing shebang header:\n%s", jqScript)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate Register did not panic")
+		}
+	}()
+	l, _ := langs.ByShortName("joda")
+	langs.Register(l)
+}
+
+func TestPostgresQuotesAwkwardSegments(t *testing.T) {
+	l, _ := langs.ByShortName("postgres")
+	q := &query.Query{Base: "ds", Filter: query.IsString{Path: jsonval.ParsePath("/weird key/x")}}
+	got := l.Translate(q)
+	if !strings.Contains(got, `doc #> '{"weird key",x}'`) {
+		t.Errorf("awkward segment not quoted: %s", got)
+	}
+}
+
+func TestMongoRegexPrefixEscaped(t *testing.T) {
+	l, _ := langs.ByShortName("mongodb")
+	q := &query.Query{Base: "ds", Filter: query.HasPrefix{Path: "/s", Prefix: "a.b*"}}
+	got := l.Translate(q)
+	if !strings.Contains(got, `^a\\.b\\*`) && !strings.Contains(got, `^a\.b\*`) {
+		t.Errorf("regex metacharacters not escaped: %s", got)
+	}
+}
+
+func TestJqShellQuoting(t *testing.T) {
+	l, _ := langs.ByShortName("jq")
+	q := &query.Query{Base: "ds", Filter: query.StrEq{Path: "/s", Value: "it's"}}
+	got := l.Translate(q)
+	if !strings.Contains(got, `'\''`) {
+		t.Errorf("single quote not shell-escaped: %s", got)
+	}
+}
+
+func TestTransformTranslations(t *testing.T) {
+	q := &query.Query{
+		ID:   "q1",
+		Base: "ds",
+		Transform: &query.Transform{Ops: []query.TransformOp{
+			{Kind: query.TransformRename, Path: "/user/name", NewName: "alias"},
+			{Kind: query.TransformRemove, Path: "/junk"},
+			{Kind: query.TransformAdd, Path: "/tag", Value: jsonval.IntValue(7)},
+		}},
+	}
+	want := map[string][]string{
+		"joda": {
+			"AS", "('/user/alias': '/user/name')", "('/user/name': )", "('/junk': )", "('/tag': 7)",
+		},
+		"mongodb": {
+			`{ $set: { "user.alias": "$user.name" } }`, `{ $unset: ["user.name"] }`,
+			`{ $unset: ["junk"] }`, `{ $set: { "tag": 7 } }`,
+		},
+		"jq": {
+			`setpath(["user","alias"]; getpath(["user","name"]))`, `delpaths([["user","name"]])`,
+			`delpaths([["junk"]])`, `setpath(["tag"]; 7)`,
+		},
+		"postgres": {
+			`jsonb_set(doc #- '{user,name}', '{user,alias}', doc #> '{user,name}')`,
+			`#- '{junk}'`, `'{tag}', '7'::jsonb`,
+		},
+	}
+	for short, fragments := range want {
+		l, err := langs.ByShortName(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := l.Translate(q)
+		for _, frag := range fragments {
+			if !strings.Contains(got, frag) {
+				t.Errorf("%s transform translation missing %q:\n%s", short, frag, got)
+			}
+		}
+	}
+	// Transform plus aggregation must still translate everywhere.
+	q.Agg = &query.Aggregation{Func: query.Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/tag"}
+	for _, l := range langs.All() {
+		if got := l.Translate(q); got == "" {
+			t.Errorf("%s: empty transform+agg translation", l.ShortName())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package mongodb translates BETZE queries into MongoDB shell syntax
+// (db.<coll>.aggregate([...])). Importing the package registers the language
+// under the short name "mongodb".
+package mongodb
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+func init() {
+	langs.Register(Language{})
+}
+
+// Language implements langs.Language for MongoDB.
+type Language struct{}
+
+// Name implements langs.Language.
+func (Language) Name() string { return "MongoDB" }
+
+// ShortName implements langs.Language.
+func (Language) ShortName() string { return "mongodb" }
+
+// Header implements langs.Language.
+func (Language) Header() string { return "" }
+
+// Comment implements langs.Language.
+func (Language) Comment(comment string) string { return "// " + comment }
+
+// QueryDelimiter implements langs.Language.
+func (Language) QueryDelimiter() string { return ";" }
+
+// Translate implements langs.Language.
+func (Language) Translate(q *query.Query) string {
+	var stages []string
+	if q.Filter != nil {
+		stages = append(stages, fmt.Sprintf("{ $match: %s }", match(q.Filter)))
+	}
+	if q.Transform != nil {
+		stages = append(stages, transformStages(q.Transform)...)
+	}
+	if q.Agg != nil {
+		stages = append(stages, groupStage(q.Agg))
+	}
+	if q.Store != "" {
+		stages = append(stages, fmt.Sprintf("{ $out: %s }", quote(q.Store)))
+	}
+	return fmt.Sprintf("db.%s.aggregate([%s])", q.Base, strings.Join(stages, ", "))
+}
+
+// transformStages renders the transform as $set/$unset pipeline stages;
+// renames copy then unset, as the aggregation pipeline requires.
+func transformStages(t *query.Transform) []string {
+	var stages []string
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case query.TransformRename:
+			target := op.Path.Parent().Child(op.NewName)
+			stages = append(stages,
+				fmt.Sprintf("{ $set: { %s: %s } }", quote(dotted(target)), fieldRef(op.Path)),
+				fmt.Sprintf("{ $unset: [%s] }", quote(dotted(op.Path))))
+		case query.TransformRemove:
+			stages = append(stages, fmt.Sprintf("{ $unset: [%s] }", quote(dotted(op.Path))))
+		case query.TransformAdd:
+			stages = append(stages, fmt.Sprintf("{ $set: { %s: %s } }",
+				quote(dotted(op.Path)), string(jsonval.AppendJSON(nil, op.Value))))
+		}
+	}
+	return stages
+}
+
+// dotted renders a path in MongoDB's dotted field notation.
+func dotted(p jsonval.Path) string {
+	return strings.Join(p.Segments(), ".")
+}
+
+// fieldRef renders a path as an aggregation expression field reference.
+func fieldRef(p jsonval.Path) string {
+	if p == jsonval.RootPath {
+		return `"$$ROOT"`
+	}
+	return quote("$" + dotted(p))
+}
+
+func quote(s string) string {
+	return string(jsonval.AppendQuoted(nil, s))
+}
+
+func match(p query.Predicate) string {
+	switch n := p.(type) {
+	case query.And:
+		return fmt.Sprintf("{ $and: [%s, %s] }", match(n.Left), match(n.Right))
+	case query.Or:
+		return fmt.Sprintf("{ $or: [%s, %s] }", match(n.Left), match(n.Right))
+	case query.Exists:
+		if n.Path == jsonval.RootPath {
+			return "{}"
+		}
+		return fmt.Sprintf("{ %s: { $exists: true } }", quote(dotted(n.Path)))
+	case query.IsString:
+		if n.Path == jsonval.RootPath {
+			return fmt.Sprintf(`{ $expr: { $eq: [{ $type: "$$ROOT" }, "string"] } }`)
+		}
+		return fmt.Sprintf(`{ %s: { $type: "string" } }`, quote(dotted(n.Path)))
+	case query.IntEq:
+		return fmt.Sprintf("{ %s: %d }", quote(dotted(n.Path)), n.Value)
+	case query.FloatCmp:
+		val := string(jsonval.AppendJSON(nil, jsonval.FloatValue(n.Value)))
+		if n.Op == query.Eq {
+			return fmt.Sprintf("{ %s: %s }", quote(dotted(n.Path)), val)
+		}
+		return fmt.Sprintf("{ %s: { %s: %s } }", quote(dotted(n.Path)), mongoOp(n.Op), val)
+	case query.StrEq:
+		return fmt.Sprintf("{ %s: %s }", quote(dotted(n.Path)), quote(n.Value))
+	case query.HasPrefix:
+		return fmt.Sprintf("{ %s: { $regex: %s } }", quote(dotted(n.Path)), quote("^"+regexEscape(n.Prefix)))
+	case query.BoolEq:
+		return fmt.Sprintf("{ %s: %t }", quote(dotted(n.Path)), n.Value)
+	case query.ArrSize:
+		if n.Op == query.Eq {
+			return fmt.Sprintf("{ %s: { $size: %d } }", quote(dotted(n.Path)), n.Value)
+		}
+		return fmt.Sprintf(`{ $and: [{ %s: { $type: "array" } }, { $expr: { %s: [{ $size: %s }, %d] } }] }`,
+			quote(dotted(n.Path)), exprOp(n.Op), fieldRef(n.Path), n.Value)
+	case query.ObjSize:
+		return fmt.Sprintf(`{ $and: [%s, { $expr: { %s: [{ $size: { $objectToArray: %s } }, %d] } }] }`,
+			typeCheck(n.Path, "object"), exprOp(n.Op), fieldRef(n.Path), n.Value)
+	default:
+		return "{}"
+	}
+}
+
+func typeCheck(p jsonval.Path, typ string) string {
+	if p == jsonval.RootPath {
+		return fmt.Sprintf(`{ $expr: { $eq: [{ $type: "$$ROOT" }, %s] } }`, quote(typ))
+	}
+	return fmt.Sprintf("{ %s: { $type: %s } }", quote(dotted(p)), quote(typ))
+}
+
+func groupStage(agg *query.Aggregation) string {
+	id := "null"
+	if agg.Grouped {
+		id = fieldRef(agg.GroupBy)
+	}
+	var acc string
+	switch agg.Func {
+	case query.Count:
+		if agg.Path == jsonval.RootPath {
+			acc = "count: { $sum: 1 }"
+		} else {
+			// COUNT(<ptr>) counts the documents that have the attribute.
+			acc = fmt.Sprintf(`count: { $sum: { $cond: [{ $ne: [{ $type: %s }, "missing"] }, 1, 0] } }`, fieldRef(agg.Path))
+		}
+	case query.Sum:
+		acc = fmt.Sprintf("sum: { $sum: %s }", fieldRef(agg.Path))
+	}
+	return fmt.Sprintf("{ $group: { _id: %s, %s } }", id, acc)
+}
+
+func mongoOp(op query.CmpOp) string {
+	switch op {
+	case query.Lt:
+		return "$lt"
+	case query.Le:
+		return "$lte"
+	case query.Gt:
+		return "$gt"
+	case query.Ge:
+		return "$gte"
+	default:
+		return "$eq"
+	}
+}
+
+func exprOp(op query.CmpOp) string {
+	return mongoOp(op) // aggregation expressions use the same operator names
+}
+
+func regexEscape(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if strings.ContainsRune(`\.+*?()|[]{}^$`, r) {
+			sb.WriteByte('\\')
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,236 @@
+// Package postgres translates BETZE queries into PostgreSQL SQL over a
+// single-column JSONB table per dataset, following the paper's Listing 1
+// (jsonb_path_exists filters, doc #> '{...}' projections). Importing the
+// package registers the language under the short name "postgres".
+package postgres
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/langs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+func init() {
+	langs.Register(Language{})
+}
+
+// Language implements langs.Language for PostgreSQL.
+type Language struct{}
+
+// Name implements langs.Language.
+func (Language) Name() string { return "PostgreSQL" }
+
+// ShortName implements langs.Language.
+func (Language) ShortName() string { return "postgres" }
+
+// Header implements langs.Language.
+func (Language) Header() string { return "" }
+
+// Comment implements langs.Language.
+func (Language) Comment(comment string) string { return "-- " + comment }
+
+// QueryDelimiter implements langs.Language.
+func (Language) QueryDelimiter() string { return ";" }
+
+// Translate implements langs.Language. Each dataset is a table with a
+// single JSONB column named doc.
+func (Language) Translate(q *query.Query) string {
+	var sb strings.Builder
+	if q.Store != "" {
+		fmt.Fprintf(&sb, "CREATE TABLE %s AS ", q.Store)
+	}
+	source := q.Base
+	if q.Transform != nil {
+		// The transform wraps the document expression; aggregations read
+		// from the transformed subquery so their paths see the new shape.
+		inner := fmt.Sprintf("SELECT %s AS doc FROM %s", transformExpr(q.Transform), q.Base)
+		if q.Filter != nil {
+			inner += " WHERE " + where(q.Filter)
+		}
+		if q.Agg == nil {
+			sb.WriteString(inner)
+			return sb.String()
+		}
+		source = "(" + inner + ") t"
+		selects, groupBy := aggSelect(q.Agg)
+		fmt.Fprintf(&sb, "SELECT %s FROM %s", selects, source)
+		if groupBy != "" {
+			fmt.Fprintf(&sb, " GROUP BY %s", groupBy)
+		}
+		return sb.String()
+	}
+	if q.Agg != nil {
+		selects, groupBy := aggSelect(q.Agg)
+		fmt.Fprintf(&sb, "SELECT %s FROM %s", selects, q.Base)
+		if q.Filter != nil {
+			fmt.Fprintf(&sb, " WHERE %s", where(q.Filter))
+		}
+		if groupBy != "" {
+			fmt.Fprintf(&sb, " GROUP BY %s", groupBy)
+		}
+	} else {
+		fmt.Fprintf(&sb, "SELECT doc FROM %s", q.Base)
+		if q.Filter != nil {
+			fmt.Fprintf(&sb, " WHERE %s", where(q.Filter))
+		}
+	}
+	return sb.String()
+}
+
+// transformExpr nests jsonb_set / #- operations around the doc column.
+func transformExpr(t *query.Transform) string {
+	expr := "doc"
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case query.TransformRename:
+			target := op.Path.Parent().Child(op.NewName)
+			expr = fmt.Sprintf("jsonb_set(%s #- %s, %s, %s #> %s)",
+				expr, textPathArray(op.Path), textPathArray(target), expr, textPathArray(op.Path))
+		case query.TransformRemove:
+			expr = fmt.Sprintf("(%s #- %s)", expr, textPathArray(op.Path))
+		case query.TransformAdd:
+			lit := strings.ReplaceAll(string(jsonval.AppendJSON(nil, op.Value)), "'", "''")
+			expr = fmt.Sprintf("jsonb_set(%s, %s, '%s'::jsonb)", expr, textPathArray(op.Path), lit)
+		}
+	}
+	return expr
+}
+
+// textPathArray renders a path as a text-array literal for the #> operator,
+// e.g. '{user,time_zone}'.
+func textPathArray(p jsonval.Path) string {
+	segs := p.Segments()
+	for i, s := range segs {
+		if strings.ContainsAny(s, `,{}" \'`) {
+			escaped := strings.ReplaceAll(s, `\`, `\\`)
+			escaped = strings.ReplaceAll(escaped, `"`, `\"`)
+			escaped = strings.ReplaceAll(escaped, `'`, `''`)
+			segs[i] = `"` + escaped + `"`
+		}
+	}
+	return "'{" + strings.Join(segs, ",") + "}'"
+}
+
+// extract renders the JSONB extraction of a path from the doc column.
+func extract(p jsonval.Path) string {
+	if p == jsonval.RootPath {
+		return "doc"
+	}
+	return "doc #> " + textPathArray(p)
+}
+
+// jsonPath renders a path in SQL/JSON path syntax ($.user.name), quoting
+// member names that are not plain identifiers.
+func jsonPath(p jsonval.Path) string {
+	var sb strings.Builder
+	sb.WriteByte('$')
+	for _, seg := range p.Segments() {
+		if isIdent(seg) {
+			sb.WriteByte('.')
+			sb.WriteString(seg)
+		} else {
+			sb.WriteString(".")
+			sb.Write(jsonval.AppendQuoted(nil, seg))
+		}
+	}
+	return sb.String()
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pathExists renders jsonb_path_exists with a predicate on @, the paper's
+// filter idiom.
+func pathExists(p jsonval.Path, cond string) string {
+	return fmt.Sprintf("jsonb_path_exists(doc, '%s ? (%s)')", jsonPath(p), cond)
+}
+
+func where(p query.Predicate) string {
+	switch n := p.(type) {
+	case query.And:
+		return "(" + where(n.Left) + " AND " + where(n.Right) + ")"
+	case query.Or:
+		return "(" + where(n.Left) + " OR " + where(n.Right) + ")"
+	case query.Exists:
+		// #> yields SQL NULL only when the path is absent; a JSON null
+		// value yields 'null'::jsonb, so existence is IS NOT NULL.
+		return extract(n.Path) + " IS NOT NULL"
+	case query.IsString:
+		return fmt.Sprintf("jsonb_typeof(%s) = 'string'", extract(n.Path))
+	case query.IntEq:
+		return pathExists(n.Path, fmt.Sprintf("@ == %d", n.Value))
+	case query.FloatCmp:
+		val := string(jsonval.AppendJSON(nil, jsonval.FloatValue(n.Value)))
+		return pathExists(n.Path, fmt.Sprintf("@ %s %s", n.Op, val))
+	case query.StrEq:
+		return pathExists(n.Path, "@ == "+sqlJSONString(n.Value))
+	case query.HasPrefix:
+		return pathExists(n.Path, "@ starts with "+sqlJSONString(n.Prefix))
+	case query.BoolEq:
+		return pathExists(n.Path, fmt.Sprintf("@ == %t", n.Value))
+	case query.ArrSize:
+		return fmt.Sprintf("(jsonb_typeof(%s) = 'array' AND jsonb_array_length(%s) %s %d)",
+			extract(n.Path), extract(n.Path), sqlOp(n.Op), n.Value)
+	case query.ObjSize:
+		return fmt.Sprintf("(jsonb_typeof(%s) = 'object' AND (SELECT count(*) FROM jsonb_object_keys(%s)) %s %d)",
+			extract(n.Path), extract(n.Path), sqlOp(n.Op), n.Value)
+	default:
+		return "TRUE"
+	}
+}
+
+// sqlJSONString renders a Go string as a JSON string literal embedded in a
+// single-quoted SQL jsonpath literal: JSON-escape first, then double any
+// single quotes for SQL.
+func sqlJSONString(s string) string {
+	j := string(jsonval.AppendQuoted(nil, s))
+	return strings.ReplaceAll(j, "'", "''")
+}
+
+func sqlOp(op query.CmpOp) string {
+	if op == query.Eq {
+		return "="
+	}
+	return op.String()
+}
+
+func aggSelect(agg *query.Aggregation) (selects, groupBy string) {
+	var fn string
+	switch agg.Func {
+	case query.Count:
+		if agg.Path == jsonval.RootPath {
+			fn = "COUNT(*)"
+		} else {
+			// COUNT over the extraction counts only documents where the
+			// attribute exists (SQL NULLs are skipped).
+			fn = fmt.Sprintf("COUNT(%s)", extract(agg.Path))
+		}
+		fn += " AS count"
+	case query.Sum:
+		fn = fmt.Sprintf("SUM(CASE WHEN jsonb_typeof(%s) = 'number' THEN (%s)::text::numeric END) AS sum",
+			extract(agg.Path), extract(agg.Path))
+	}
+	if !agg.Grouped {
+		return fn, ""
+	}
+	g := extract(agg.GroupBy)
+	return fmt.Sprintf("%s AS group, %s", g, fn), g
+}

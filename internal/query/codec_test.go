@@ -1,0 +1,89 @@
+package query
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	queries := []*Query{
+		{ID: "q1", Base: "ds"},
+		{ID: "q2", Base: "ds", Store: "derived", Filter: Exists{Path: "/a"}},
+		{
+			ID:   "q3",
+			Base: "Twitter",
+			Filter: And{
+				Left:  Or{Left: IntEq{Path: "/n", Value: -5}, Right: FloatCmp{Path: "/f", Op: Ge, Value: 2.25}},
+				Right: And{Left: StrEq{Path: "/s", Value: "x"}, Right: HasPrefix{Path: "/s", Prefix: "p"}},
+			},
+			Agg: &Aggregation{Func: Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/g"},
+		},
+		{
+			ID:     "q4",
+			Base:   "ds",
+			Filter: Or{Left: BoolEq{Path: "/b", Value: false}, Right: And{Left: ArrSize{Path: "/a", Op: Lt, Value: 3}, Right: ObjSize{Path: "/o", Op: Eq, Value: 2}}},
+			Agg:    &Aggregation{Func: Sum, Path: "/n"},
+		},
+		{ID: "q5", Base: "ds", Filter: IsString{Path: "/s"}},
+	}
+	for _, q := range queries {
+		data, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		var back Query
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if back.String() != q.String() {
+			t.Errorf("%s round trip:\n got %s\nwant %s", q.ID, back.String(), q.String())
+		}
+		if back.ID != q.ID || back.Base != q.Base || back.Store != q.Store {
+			t.Errorf("%s header fields differ: %+v", q.ID, back)
+		}
+	}
+}
+
+func TestQueryJSONRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		q := &Query{ID: "q", Base: "ds", Filter: randomPredicate(r, 3)}
+		data, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Query
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+		if back.String() != q.String() {
+			t.Fatalf("round trip differs:\n got %s\nwant %s", back.String(), q.String())
+		}
+		// Equivalence must be semantic too.
+		for j := 0; j < 20; j++ {
+			d := randomSmallDoc(r)
+			if back.Matches(d) != q.Matches(d) {
+				t.Fatalf("decoded query disagrees on %s", d)
+			}
+		}
+	}
+}
+
+func TestQueryJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"base":"ds","filter":{"kind":"teleport"}}`,
+		`{"base":"ds","filter":{"kind":"and","left":{"kind":"exists","path":"/a"}}}`,
+		`{"base":"ds","filter":{"kind":"float-cmp","path":"/f","op":"~"}}`,
+		`{"base":"ds","agg":{"func":"MEDIAN","path":"/x"}}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		var q Query
+		if err := json.Unmarshal([]byte(s), &q); err == nil {
+			t.Errorf("accepted %s as %s", s, q.String())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func doc(t *testing.T, s string) jsonval.Value {
+	t.Helper()
+	v, err := jsonval.Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return v
+}
+
+var sample = `{
+	"name": "alice",
+	"age": 30,
+	"score": 7.5,
+	"active": true,
+	"tags": ["a","b","c"],
+	"profile": {"city":"berlin","zip":10115},
+	"nothing": null
+}`
+
+func TestLeafPredicates(t *testing.T) {
+	d := doc(t, sample)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Exists{Path: "/name"}, true},
+		{Exists{Path: "/missing"}, false},
+		{Exists{Path: "/profile/city"}, true},
+		{Exists{Path: "/nothing"}, true}, // null still exists
+		{Exists{Path: "/tags/0"}, false}, // no array indexing
+
+		{IsString{Path: "/name"}, true},
+		{IsString{Path: "/age"}, false},
+		{IsString{Path: "/missing"}, false},
+
+		{IntEq{Path: "/age", Value: 30}, true},
+		{IntEq{Path: "/age", Value: 31}, false},
+		{IntEq{Path: "/name", Value: 30}, false},
+		{IntEq{Path: "/missing", Value: 30}, false},
+
+		{FloatCmp{Path: "/score", Op: Ge, Value: 7.5}, true},
+		{FloatCmp{Path: "/score", Op: Gt, Value: 7.5}, false},
+		{FloatCmp{Path: "/score", Op: Lt, Value: 10}, true},
+		{FloatCmp{Path: "/score", Op: Le, Value: 7.4}, false},
+		{FloatCmp{Path: "/score", Op: Eq, Value: 7.5}, true},
+		{FloatCmp{Path: "/age", Op: Gt, Value: 29}, true}, // ints are numbers too
+		{FloatCmp{Path: "/name", Op: Gt, Value: 0}, false},
+
+		{StrEq{Path: "/name", Value: "alice"}, true},
+		{StrEq{Path: "/name", Value: "bob"}, false},
+		{StrEq{Path: "/age", Value: "30"}, false},
+
+		{HasPrefix{Path: "/name", Prefix: "ali"}, true},
+		{HasPrefix{Path: "/name", Prefix: "bob"}, false},
+		{HasPrefix{Path: "/name", Prefix: ""}, true},
+		{HasPrefix{Path: "/age", Prefix: "3"}, false},
+
+		{BoolEq{Path: "/active", Value: true}, true},
+		{BoolEq{Path: "/active", Value: false}, false},
+		{BoolEq{Path: "/name", Value: true}, false},
+
+		{ArrSize{Path: "/tags", Op: Eq, Value: 3}, true},
+		{ArrSize{Path: "/tags", Op: Gt, Value: 3}, false},
+		{ArrSize{Path: "/tags", Op: Le, Value: 5}, true},
+		{ArrSize{Path: "/profile", Op: Eq, Value: 2}, false}, // object, not array
+
+		{ObjSize{Path: "/profile", Op: Eq, Value: 2}, true},
+		{ObjSize{Path: "/profile", Op: Lt, Value: 2}, false},
+		{ObjSize{Path: "/tags", Op: Eq, Value: 3}, false}, // array, not object
+		{ObjSize{Path: "", Op: Ge, Value: 7}, true},       // root object size
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(d); got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntEqMatchesEqualFloat(t *testing.T) {
+	d := doc(t, `{"x": 5.0}`)
+	if !(IntEq{Path: "/x", Value: 5}).Eval(d) {
+		t.Errorf("5.0 does not satisfy == 5")
+	}
+	if (IntEq{Path: "/x", Value: 6}).Eval(d) {
+		t.Errorf("5.0 satisfies == 6")
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	d := doc(t, sample)
+	yes := Exists{Path: "/name"}
+	no := Exists{Path: "/missing"}
+	if !(And{yes, yes}).Eval(d) || (And{yes, no}).Eval(d) || (And{no, yes}).Eval(d) {
+		t.Errorf("And truth table wrong")
+	}
+	if !(Or{yes, no}).Eval(d) || !(Or{no, yes}).Eval(d) || (Or{no, no}).Eval(d) {
+		t.Errorf("Or truth table wrong")
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{Exists{Path: "/a"}, "EXISTS('/a')"},
+		{IsString{Path: "/a/b"}, "ISSTRING('/a/b')"},
+		{IntEq{Path: "/n", Value: -3}, "'/n' == -3"},
+		{FloatCmp{Path: "/f", Op: Ge, Value: 2.5}, "'/f' >= 2.5"},
+		{StrEq{Path: "/s", Value: `say "hi"`}, `'/s' == "say \"hi\""`},
+		{HasPrefix{Path: "/s", Prefix: "ab"}, `HASPREFIX('/s', "ab")`},
+		{BoolEq{Path: "/b", Value: false}, "'/b' == false"},
+		{ArrSize{Path: "/a", Op: Lt, Value: 4}, "ARRSIZE('/a') < 4"},
+		{ObjSize{Path: "/o", Op: Eq, Value: 2}, "OBJSIZE('/o') == 2"},
+		{And{Exists{Path: "/a"}, BoolEq{Path: "/b", Value: true}}, "(EXISTS('/a') && '/b' == true)"},
+		{Or{Exists{Path: "/a"}, Exists{Path: "/b"}}, "(EXISTS('/a') || EXISTS('/b'))"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "=="}
+	for op, s := range ops {
+		if op.String() != s {
+			t.Errorf("%d renders as %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestWalkAndLeaves(t *testing.T) {
+	p := And{
+		Or{Exists{Path: "/a"}, IsString{Path: "/b"}},
+		BoolEq{Path: "/c", Value: true},
+	}
+	var kinds []string
+	Walk(p, func(n Predicate) { kinds = append(kinds, LeafKind(n)) })
+	want := []string{"and", "or", "exists", "isstring", "bool-eq"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("Walk order = %v, want %v", kinds, want)
+	}
+	leaves := Leaves(p)
+	if len(leaves) != 3 {
+		t.Errorf("Leaves = %d nodes", len(leaves))
+	}
+	if path, ok := LeafPath(leaves[2]); !ok || path != "/c" {
+		t.Errorf("LeafPath = %v, %v", path, ok)
+	}
+	if _, ok := LeafPath(p); ok {
+		t.Errorf("LeafPath on inner node returned a path")
+	}
+	Walk(nil, func(Predicate) { t.Errorf("Walk(nil) visited a node") })
+	if Leaves(nil) != nil {
+		t.Errorf("Leaves(nil) non-empty")
+	}
+}
+
+func TestLeafKindCoversAll(t *testing.T) {
+	all := []Predicate{
+		Exists{}, IsString{}, IntEq{}, FloatCmp{}, StrEq{},
+		HasPrefix{}, BoolEq{}, ArrSize{}, ObjSize{}, And{}, Or{},
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		k := LeafKind(p)
+		if k == "unknown" {
+			t.Errorf("%T has no LeafKind", p)
+		}
+		if seen[k] {
+			t.Errorf("duplicate LeafKind %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+// randomPredicate builds a random predicate over the small document universe
+// used by the property tests.
+func randomPredicate(r *rand.Rand, depth int) Predicate {
+	paths := []jsonval.Path{"/a", "/b", "/c", "/d/e"}
+	p := paths[r.Intn(len(paths))]
+	ops := []CmpOp{Lt, Le, Gt, Ge, Eq}
+	if depth > 0 && r.Intn(3) == 0 {
+		l, rr := randomPredicate(r, depth-1), randomPredicate(r, depth-1)
+		if r.Intn(2) == 0 {
+			return And{l, rr}
+		}
+		return Or{l, rr}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return Exists{Path: p}
+	case 1:
+		return IsString{Path: p}
+	case 2:
+		return IntEq{Path: p, Value: int64(r.Intn(10))}
+	case 3:
+		return FloatCmp{Path: p, Op: ops[r.Intn(len(ops))], Value: r.Float64() * 10}
+	case 4:
+		return StrEq{Path: p, Value: string(rune('a' + r.Intn(4)))}
+	case 5:
+		return HasPrefix{Path: p, Prefix: string(rune('a' + r.Intn(4)))}
+	case 6:
+		return BoolEq{Path: p, Value: r.Intn(2) == 0}
+	case 7:
+		return ArrSize{Path: p, Op: ops[r.Intn(len(ops))], Value: r.Intn(4)}
+	default:
+		return ObjSize{Path: p, Op: ops[r.Intn(len(ops))], Value: r.Intn(4)}
+	}
+}
+
+func randomSmallDoc(r *rand.Rand) jsonval.Value {
+	mk := func() jsonval.Value {
+		switch r.Intn(6) {
+		case 0:
+			return jsonval.IntValue(int64(r.Intn(10)))
+		case 1:
+			return jsonval.FloatValue(r.Float64() * 10)
+		case 2:
+			return jsonval.StringValue(string(rune('a' + r.Intn(4))))
+		case 3:
+			return jsonval.BoolValue(r.Intn(2) == 0)
+		case 4:
+			n := r.Intn(4)
+			elems := make([]jsonval.Value, n)
+			for i := range elems {
+				elems[i] = jsonval.IntValue(int64(i))
+			}
+			return jsonval.ArrayValue(elems...)
+		default:
+			return jsonval.NullValue()
+		}
+	}
+	var members []jsonval.Member
+	for _, k := range []string{"a", "b", "c"} {
+		if r.Intn(2) == 0 {
+			members = append(members, jsonval.Member{Key: k, Value: mk()})
+		}
+	}
+	if r.Intn(2) == 0 {
+		members = append(members, jsonval.Member{Key: "d", Value: jsonval.ObjectValue(
+			jsonval.Member{Key: "e", Value: mk()},
+		)})
+	}
+	return jsonval.ObjectValue(members...)
+}
+
+func TestBooleanAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(randomPredicate(r, 2))
+		vs[1] = reflect.ValueOf(randomPredicate(r, 2))
+		vs[2] = reflect.ValueOf(randomSmallDoc(r))
+	}}
+	prop := func(p, q Predicate, d jsonval.Value) bool {
+		andOK := And{p, q}.Eval(d) == (p.Eval(d) && q.Eval(d))
+		orOK := Or{p, q}.Eval(d) == (p.Eval(d) || q.Eval(d))
+		commutes := And{p, q}.Eval(d) == And{q, p}.Eval(d) && Or{p, q}.Eval(d) == Or{q, p}.Eval(d)
+		idempotent := And{p, p}.Eval(d) == p.Eval(d) && Or{p, p}.Eval(d) == p.Eval(d)
+		return andOK && orOK && commutes && idempotent
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateStringIsStable(t *testing.T) {
+	// The canonical form backs duplicate suppression: equal predicates
+	// must render identically, and rendering must be deterministic.
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		p := randomPredicate(r, 3)
+		if p.String() != p.String() {
+			t.Fatalf("non-deterministic String for %#v", p)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func TestQueryMatches(t *testing.T) {
+	d := doc(t, `{"a":1}`)
+	q := &Query{Base: "ds", Filter: Exists{Path: "/a"}}
+	if !q.Matches(d) {
+		t.Errorf("filter did not match")
+	}
+	q2 := &Query{Base: "ds"}
+	if !q2.Matches(d) {
+		t.Errorf("nil filter must match everything")
+	}
+	q3 := &Query{Base: "ds", Filter: Exists{Path: "/zz"}}
+	if q3.Matches(d) {
+		t.Errorf("filter matched missing path")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := &Query{
+		ID:     "q1",
+		Base:   "Twitter",
+		Store:  "Twitter_q1",
+		Filter: BoolEq{Path: "/retweeted_status/user/verified", Value: false},
+		Agg: &Aggregation{
+			Func:    Count,
+			Path:    jsonval.RootPath,
+			Grouped: true,
+			GroupBy: "/user/time_zone",
+		},
+	}
+	want := "FROM Twitter WHERE '/retweeted_status/user/verified' == false COUNT('/') GROUP BY '/user/time_zone' STORE Twitter_q1"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestQueryPaths(t *testing.T) {
+	q := &Query{
+		Base: "ds",
+		Filter: And{
+			Exists{Path: "/a"},
+			Or{IntEq{Path: "/b", Value: 1}, Exists{Path: "/a"}},
+		},
+		Agg: &Aggregation{Func: Sum, Path: "/c", Grouped: true, GroupBy: "/d"},
+	}
+	want := []jsonval.Path{"/a", "/b", "/a", "/c", "/d"}
+	if got := q.Paths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Paths() = %v, want %v", got, want)
+	}
+	// Count over the root path contributes no attribute reference.
+	q2 := &Query{Base: "ds", Agg: &Aggregation{Func: Count, Path: jsonval.RootPath}}
+	if got := q2.Paths(); len(got) != 0 {
+		t.Errorf("root-count Paths() = %v", got)
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	a := Aggregation{Func: Count, Path: "/x"}
+	if a.String() != "COUNT('/x')" {
+		t.Errorf("got %q", a.String())
+	}
+	g := Aggregation{Func: Sum, Path: "/x", Grouped: true, GroupBy: "/y"}
+	if g.String() != "SUM('/x') GROUP BY '/y'" {
+		t.Errorf("got %q", g.String())
+	}
+}
+
+func TestAggregatorCountUngrouped(t *testing.T) {
+	a := NewAggregator(Aggregation{Func: Count, Path: "/x"})
+	a.Add(doc(t, `{"x":1}`))
+	a.Add(doc(t, `{"x":"s"}`))
+	a.Add(doc(t, `{"y":1}`)) // no /x: not counted
+	res := a.Result()
+	if len(res) != 1 {
+		t.Fatalf("result docs = %d", len(res))
+	}
+	if v, _ := res[0].Field("count"); v.Int() != 2 {
+		t.Errorf("count = %s", v)
+	}
+}
+
+func TestAggregatorCountRootCountsAll(t *testing.T) {
+	a := NewAggregator(Aggregation{Func: Count, Path: jsonval.RootPath})
+	a.Add(doc(t, `{"x":1}`))
+	a.Add(doc(t, `{}`))
+	if v, _ := a.Result()[0].Field("count"); v.Int() != 2 {
+		t.Errorf("root count = %s", v)
+	}
+}
+
+func TestAggregatorSum(t *testing.T) {
+	a := NewAggregator(Aggregation{Func: Sum, Path: "/n"})
+	a.Add(doc(t, `{"n":3}`))
+	a.Add(doc(t, `{"n":4}`))
+	a.Add(doc(t, `{"n":"skip"}`))
+	a.Add(doc(t, `{}`))
+	if v, _ := a.Result()[0].Field("sum"); v.Kind() != jsonval.Int || v.Int() != 7 {
+		t.Errorf("int sum = %s (%v)", v, v.Kind())
+	}
+	b := NewAggregator(Aggregation{Func: Sum, Path: "/n"})
+	b.Add(doc(t, `{"n":3}`))
+	b.Add(doc(t, `{"n":0.5}`))
+	if v, _ := b.Result()[0].Field("sum"); v.Kind() != jsonval.Float || v.Float() != 3.5 {
+		t.Errorf("mixed sum = %s (%v)", v, v.Kind())
+	}
+	c := NewAggregator(Aggregation{Func: Sum, Path: "/n"})
+	if v, _ := c.Result()[0].Field("sum"); !v.IsNull() {
+		t.Errorf("empty sum = %s, want null", v)
+	}
+}
+
+func TestAggregatorGrouped(t *testing.T) {
+	a := NewAggregator(Aggregation{Func: Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/city"})
+	a.Add(doc(t, `{"city":"berlin"}`))
+	a.Add(doc(t, `{"city":"paris"}`))
+	a.Add(doc(t, `{"city":"berlin"}`))
+	a.Add(doc(t, `{"nocity":1}`)) // null group
+	res := a.Result()
+	if len(res) != 3 {
+		t.Fatalf("groups = %d", len(res))
+	}
+	byGroup := map[string]int64{}
+	for _, r := range res {
+		g, _ := r.Field("group")
+		c, _ := r.Field("count")
+		byGroup[g.String()] = c.Int()
+	}
+	if byGroup[`"berlin"`] != 2 || byGroup[`"paris"`] != 1 || byGroup["null"] != 1 {
+		t.Errorf("group counts = %v", byGroup)
+	}
+}
+
+func TestAggregatorGroupedSum(t *testing.T) {
+	a := NewAggregator(Aggregation{Func: Sum, Path: "/v", Grouped: true, GroupBy: "/k"})
+	a.Add(doc(t, `{"k":"a","v":1}`))
+	a.Add(doc(t, `{"k":"a","v":2.5}`))
+	a.Add(doc(t, `{"k":"b","v":10}`))
+	res := a.Result()
+	sums := map[string]string{}
+	for _, r := range res {
+		g, _ := r.Field("group")
+		s, _ := r.Field("sum")
+		sums[g.String()] = s.String()
+	}
+	if sums[`"a"`] != "3.5" || sums[`"b"`] != "10" {
+		t.Errorf("grouped sums = %v", sums)
+	}
+}
+
+func TestAggregatorGroupKeysByValueNotKind(t *testing.T) {
+	// 5 and 5.0 group together, mirroring numeric equality.
+	a := NewAggregator(Aggregation{Func: Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/k"})
+	a.Add(doc(t, `{"k":5}`))
+	a.Add(doc(t, `{"k":5.0}`))
+	if res := a.Result(); len(res) != 1 {
+		t.Errorf("5 and 5.0 split into %d groups", len(res))
+	}
+}
+
+func TestAggregatorInsertionOrderDeterministic(t *testing.T) {
+	mk := func() []string {
+		a := NewAggregator(Aggregation{Func: Count, Path: jsonval.RootPath, Grouped: true, GroupBy: "/k"})
+		for _, k := range []string{"x", "y", "x", "z", "y"} {
+			a.Add(doc(t, `{"k":"`+k+`"}`))
+		}
+		var order []string
+		for _, r := range a.Result() {
+			g, _ := r.Field("group")
+			order = append(order, g.Str())
+		}
+		return order
+	}
+	if !reflect.DeepEqual(mk(), []string{"x", "y", "z"}) {
+		t.Errorf("group order = %v", mk())
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	ok := &Query{ID: "q", Base: "ds", Filter: Exists{Path: "/a"}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	stored := &Query{ID: "q", Base: "ds", Store: "out"}
+	if err := stored.Validate(); err != nil {
+		t.Errorf("store-only query rejected: %v", err)
+	}
+	if err := (&Query{ID: "q"}).Validate(); err == nil {
+		t.Errorf("base-less query accepted")
+	}
+	bad := &Query{ID: "q", Base: "ds", Store: "out", Agg: &Aggregation{Func: Count}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("store+agg query accepted")
+	}
+}

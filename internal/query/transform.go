@@ -1,0 +1,154 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// TransformKind enumerates the document transformations of the paper's
+// future-work section ("renaming, removing, or addition of attributes").
+type TransformKind uint8
+
+// The supported transformation operations.
+const (
+	// TransformRename renames the attribute at Path to NewName (within
+	// its parent object).
+	TransformRename TransformKind = iota
+	// TransformRemove deletes the attribute at Path.
+	TransformRemove
+	// TransformAdd sets the attribute at Path to the constant Value,
+	// creating it in its (existing) parent object.
+	TransformAdd
+)
+
+// String names the kind.
+func (k TransformKind) String() string {
+	switch k {
+	case TransformRename:
+		return "rename"
+	case TransformRemove:
+		return "remove"
+	case TransformAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("transform(%d)", uint8(k))
+	}
+}
+
+// TransformOp is one transformation step.
+type TransformOp struct {
+	Kind TransformKind
+	// Path is the affected attribute.
+	Path jsonval.Path
+	// NewName is the new leaf name for renames.
+	NewName string
+	// Value is the constant for additions.
+	Value jsonval.Value
+}
+
+// String renders the operation in the internal syntax.
+func (op TransformOp) String() string {
+	switch op.Kind {
+	case TransformRename:
+		return fmt.Sprintf("RENAME('%s' -> %q)", op.Path, op.NewName)
+	case TransformRemove:
+		return fmt.Sprintf("REMOVE('%s')", op.Path)
+	case TransformAdd:
+		return fmt.Sprintf("ADD('%s' = %s)", op.Path, op.Value)
+	default:
+		return op.Kind.String()
+	}
+}
+
+// Transform is an ordered sequence of transformation operations applied to
+// every document a query returns. It extends the filter/aggregate query
+// model with the structure-changing workloads the paper proposes as future
+// work.
+type Transform struct {
+	Ops []TransformOp
+}
+
+// String renders the transform in the internal syntax.
+func (t *Transform) String() string {
+	parts := make([]string, len(t.Ops))
+	for i, op := range t.Ops {
+		parts[i] = op.String()
+	}
+	return "TRANSFORM " + strings.Join(parts, ", ")
+}
+
+// Apply returns the transformed document. The input is not modified; only
+// the spine along each affected path is rebuilt.
+func (t *Transform) Apply(doc jsonval.Value) jsonval.Value {
+	out := doc
+	for _, op := range t.Ops {
+		out = applyOp(out, op)
+	}
+	return out
+}
+
+func applyOp(doc jsonval.Value, op TransformOp) jsonval.Value {
+	segs := op.Path.Segments()
+	if len(segs) == 0 {
+		return doc // the root itself cannot be renamed/removed/added
+	}
+	return rebuild(doc, segs, op)
+}
+
+// rebuild walks down to the affected parent object and applies the edit.
+func rebuild(v jsonval.Value, segs []string, op TransformOp) jsonval.Value {
+	if v.Kind() != jsonval.Object {
+		return v // path traverses a non-object: nothing to do
+	}
+	members := v.Members()
+	if len(segs) == 1 {
+		leaf := segs[0]
+		switch op.Kind {
+		case TransformRename:
+			out := make([]jsonval.Member, 0, len(members))
+			for _, m := range members {
+				if m.Key == leaf {
+					m.Key = op.NewName
+				}
+				out = append(out, m)
+			}
+			return jsonval.ObjectValue(out...)
+		case TransformRemove:
+			out := make([]jsonval.Member, 0, len(members))
+			for _, m := range members {
+				if m.Key != leaf {
+					out = append(out, m)
+				}
+			}
+			return jsonval.ObjectValue(out...)
+		case TransformAdd:
+			out := make([]jsonval.Member, 0, len(members)+1)
+			replaced := false
+			for _, m := range members {
+				if m.Key == leaf {
+					m.Value = op.Value
+					replaced = true
+				}
+				out = append(out, m)
+			}
+			if !replaced {
+				out = append(out, jsonval.Member{Key: leaf, Value: op.Value})
+			}
+			return jsonval.ObjectValue(out...)
+		default:
+			return v
+		}
+	}
+	// Descend: rebuild only the affected child.
+	out := make([]jsonval.Member, len(members))
+	copy(out, members)
+	for i, m := range out {
+		if m.Key == segs[0] {
+			out[i].Value = rebuild(m.Value, segs[1:], op)
+			break
+		}
+	}
+	return jsonval.ObjectValue(out...)
+}

@@ -1,0 +1,149 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+func TestTransformRename(t *testing.T) {
+	d := doc(t, `{"user":{"name":"alice","id":1},"x":2}`)
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformRename, Path: "/user/name", NewName: "full_name"},
+	}}
+	out := tr.Apply(d)
+	if _, ok := ParsePathHelper("/user/name").Lookup(out); ok {
+		t.Errorf("old attribute survived: %s", out)
+	}
+	v, ok := ParsePathHelper("/user/full_name").Lookup(out)
+	if !ok || v.Str() != "alice" {
+		t.Errorf("renamed attribute = %v, %v (%s)", v, ok, out)
+	}
+	// Untouched parts intact, original not modified.
+	if v, _ := ParsePathHelper("/x").Lookup(out); v.Int() != 2 {
+		t.Errorf("sibling changed: %s", out)
+	}
+	if _, ok := ParsePathHelper("/user/name").Lookup(d); !ok {
+		t.Errorf("original document was mutated")
+	}
+}
+
+// ParsePathHelper keeps test call sites short.
+func ParsePathHelper(s string) jsonval.Path { return jsonval.ParsePath(s) }
+
+func TestTransformRemove(t *testing.T) {
+	d := doc(t, `{"a":{"b":1,"c":2},"d":3}`)
+	tr := &Transform{Ops: []TransformOp{{Kind: TransformRemove, Path: "/a/b"}}}
+	out := tr.Apply(d)
+	if _, ok := ParsePathHelper("/a/b").Lookup(out); ok {
+		t.Errorf("removed attribute survived: %s", out)
+	}
+	if v, _ := ParsePathHelper("/a/c").Lookup(out); v.Int() != 2 {
+		t.Errorf("sibling removed: %s", out)
+	}
+}
+
+func TestTransformAdd(t *testing.T) {
+	d := doc(t, `{"a":1}`)
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformAdd, Path: "/tag", Value: jsonval.StringValue("v")},
+		{Kind: TransformAdd, Path: "/a", Value: jsonval.IntValue(9)}, // overwrite
+	}}
+	out := tr.Apply(d)
+	if v, ok := ParsePathHelper("/tag").Lookup(out); !ok || v.Str() != "v" {
+		t.Errorf("added attribute = %v, %v", v, ok)
+	}
+	if v, _ := ParsePathHelper("/a").Lookup(out); v.Int() != 9 {
+		t.Errorf("overwrite failed: %s", out)
+	}
+}
+
+func TestTransformMissingTargetsAreNoOps(t *testing.T) {
+	d := doc(t, `{"a":1}`)
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformRename, Path: "/missing", NewName: "x"},
+		{Kind: TransformRemove, Path: "/also/missing"},
+	}}
+	if out := tr.Apply(d); out.String() != d.String() {
+		t.Errorf("no-op transform changed document: %s", out)
+	}
+}
+
+func TestTransformNestedAddRequiresParent(t *testing.T) {
+	d := doc(t, `{"a":{"b":1}}`)
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformAdd, Path: "/a/new", Value: jsonval.IntValue(5)},
+		{Kind: TransformAdd, Path: "/ghost/new", Value: jsonval.IntValue(5)}, // parent absent
+	}}
+	out := tr.Apply(d)
+	if v, ok := ParsePathHelper("/a/new").Lookup(out); !ok || v.Int() != 5 {
+		t.Errorf("nested add failed: %s", out)
+	}
+	if _, ok := ParsePathHelper("/ghost").Lookup(out); ok {
+		t.Errorf("add created a missing parent: %s", out)
+	}
+}
+
+func TestTransformOpsApplyInOrder(t *testing.T) {
+	d := doc(t, `{"a":1}`)
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformRename, Path: "/a", NewName: "b"},
+		{Kind: TransformRemove, Path: "/b"},
+	}}
+	out := tr.Apply(d)
+	if out.Len() != 0 {
+		t.Errorf("rename-then-remove left %s", out)
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	tr := &Transform{Ops: []TransformOp{
+		{Kind: TransformRename, Path: "/a", NewName: "b"},
+		{Kind: TransformRemove, Path: "/c"},
+		{Kind: TransformAdd, Path: "/d", Value: jsonval.IntValue(5)},
+	}}
+	want := `TRANSFORM RENAME('/a' -> "b"), REMOVE('/c'), ADD('/d' = 5)`
+	if got := tr.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	q := &Query{Base: "ds", Transform: tr}
+	if got := q.String(); got != "FROM ds "+want {
+		t.Errorf("query String() = %q", got)
+	}
+}
+
+func TestTransformJSONRoundTrip(t *testing.T) {
+	q := &Query{
+		ID:   "q1",
+		Base: "ds",
+		Transform: &Transform{Ops: []TransformOp{
+			{Kind: TransformRename, Path: "/a/b", NewName: "c"},
+			{Kind: TransformRemove, Path: "/x"},
+			{Kind: TransformAdd, Path: "/y", Value: jsonval.FloatValue(2.5)},
+		}},
+	}
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Query
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != q.String() {
+		t.Errorf("round trip:\n got %s\nwant %s", back.String(), q.String())
+	}
+	d := doc(t, `{"a":{"b":1},"x":2}`)
+	if back.ApplyTransform(d).String() != q.ApplyTransform(d).String() {
+		t.Errorf("decoded transform behaves differently")
+	}
+}
+
+func TestApplyTransformNil(t *testing.T) {
+	q := &Query{Base: "ds"}
+	d := doc(t, `{"a":1}`)
+	if q.ApplyTransform(d).String() != d.String() {
+		t.Errorf("nil transform changed document")
+	}
+}
