@@ -1,0 +1,31 @@
+# Developer targets for the BETZE reproduction. Everything is stdlib-only Go;
+# `make check` is the full CI gate (vet + race-enabled tests).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The multiuser harness, the jodasim worker pool and the obs registry are the
+# concurrency hot spots; run the whole tree under the race detector.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# A quick laptop-scale pass over every experiment of the paper.
+bench:
+	$(GO) run ./cmd/betze-bench -exp all
+
+clean:
+	$(GO) clean ./...

@@ -61,16 +61,16 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var out string
+	var res *harness.Result
 	for i := 0; i < b.N; i++ {
-		out, err = exp.Run(e)
+		res, err = exp.Run(e)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	if testing.Verbose() {
-		b.Logf("%s:\n%s", exp.Title, out)
+		b.Logf("%s:\n%s", exp.Title, res.Text())
 	}
 }
 

@@ -4,17 +4,27 @@
 //
 //	betze-bench -exp fig10 -nobench-sweep 1000,10000,100000,1000000
 //	betze-bench -exp all -twitter-docs 50000 -sessions 30
+//
+// Observability: -trace streams per-session/per-query JSON-lines events,
+// -metrics-out snapshots engine and harness metrics after the run, -format
+// switches stdout between text, CSV and JSON rendering, and -export-dir
+// writes every experiment's result as <id>.csv and <id>.json.
+//
+//	betze-bench -exp table2 -trace trace.jsonl -metrics-out metrics.json
+//	betze-bench -exp fig10 -format csv -export-dir results/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/joda-explore/betze/internal/harness"
+	"github.com/joda-explore/betze/internal/obs"
 )
 
 func main() {
@@ -37,6 +47,10 @@ func run() error {
 	flag.Int64Var(&cfg.Seed, "seed", 0, "base seed (default 123)")
 	sweep := flag.String("nobench-sweep", "", "comma-separated document counts for fig10")
 	threads := flag.String("threads", "", "comma-separated thread counts for fig9")
+	tracePath := flag.String("trace", "", "write per-query JSON-lines trace events to this file")
+	metricsPath := flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
+	format := flag.String("format", "text", "stdout rendering: text, csv or json")
+	exportDir := flag.String("export-dir", "", "also write each experiment's result as <id>.csv and <id>.json here")
 	flag.Parse()
 
 	var err error
@@ -45,6 +59,32 @@ func run() error {
 	}
 	if cfg.Threads, err = parseInts(*threads); err != nil {
 		return fmt.Errorf("-threads: %w", err)
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("-format: unknown format %q (have text, csv, json)", *format)
+	}
+
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer f.Close()
+		rec = obs.NewRecorder(f)
+		cfg.Obs.Trace = rec
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs.Metrics = reg
+	}
+	if *exportDir != "" {
+		if err := os.MkdirAll(*exportDir, 0o755); err != nil {
+			return fmt.Errorf("-export-dir: %w", err)
+		}
 	}
 
 	env, err := harness.NewEnv(cfg)
@@ -64,14 +104,60 @@ func run() error {
 	for _, e := range experiments {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		out, err := e.Run(env)
+		res, err := e.Run(env)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Print(out)
+		switch *format {
+		case "csv":
+			fmt.Print(res.CSV())
+		case "json":
+			data, err := res.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			os.Stdout.Write(data)
+		default:
+			fmt.Print(res.Text())
+		}
+		if *exportDir != "" {
+			if err := exportResult(*exportDir, e.ID, res); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
 		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
 	return nil
+}
+
+// exportResult writes one experiment's machine-readable forms.
+func exportResult(dir, id string, res *harness.Result) error {
+	if err := os.WriteFile(filepath.Join(dir, id+".csv"), []byte(res.CSV()), 0o644); err != nil {
+		return err
+	}
+	data, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".json"), data, 0o644)
 }
 
 func parseInts(s string) ([]int, error) {

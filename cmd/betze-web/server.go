@@ -4,17 +4,21 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/joda-explore/betze"
 	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/obs"
 )
 
 // server holds generated sessions in memory, keyed by an increasing id.
 type server struct {
 	mux *http.ServeMux
+	reg *obs.Registry
 
 	mu       sync.Mutex
 	nextID   int
@@ -31,6 +35,7 @@ type storedSession struct {
 func newServer() *server {
 	s := &server{
 		mux:      http.NewServeMux(),
+		reg:      obs.NewRegistry(),
 		sessions: make(map[int]*storedSession),
 		nextID:   1,
 	}
@@ -39,6 +44,15 @@ func newServer() *server {
 	s.mux.HandleFunc("GET /session/{id}", s.handleSession)
 	s.mux.HandleFunc("GET /download/{id}/{lang}", s.handleDownload)
 	s.mux.HandleFunc("GET /dot/{id}", s.handleDOT)
+	// Observability: a JSON metrics snapshot plus the standard pprof
+	// profiling endpoints (mounted explicitly — the package's init-time
+	// DefaultServeMux registration does not reach this private mux).
+	s.mux.Handle("GET /debug/metrics", obs.Handler(s.reg))
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -120,11 +134,15 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	stored, err := s.generate(r)
+	s.reg.Histogram("web.generate").Observe(time.Since(start))
 	if err != nil {
+		s.reg.Counter("web.generate_errors").Inc()
 		http.Error(w, "generation failed: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.reg.Counter("web.sessions_generated").Inc()
 	http.Redirect(w, r, fmt.Sprintf("/session/%d", stored.id), http.StatusSeeOther)
 }
 
@@ -204,6 +222,7 @@ func (s *server) generate(r *http.Request) (*storedSession, error) {
 	stored.id = s.nextID
 	s.nextID++
 	s.sessions[stored.id] = stored
+	s.reg.Gauge("web.sessions_stored").Set(float64(len(s.sessions)))
 	s.mu.Unlock()
 	return stored, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -142,6 +143,37 @@ func TestNotFoundAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("missing dataset file status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndPprofEndpoints(t *testing.T) {
+	ts := startTestServer(t)
+	generateSession(t, ts, url.Values{
+		"source": {"twitter"}, "docs": {"600"}, "preset": {"expert"}, "seed": {"3"}, "verify": {"on"},
+	})
+	code, body := get(t, ts.URL+"/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]float64        `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics endpoint not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["web.sessions_generated"] != 1 {
+		t.Errorf("sessions_generated = %d, want 1", snap.Counters["web.sessions_generated"])
+	}
+	if snap.Gauges["web.sessions_stored"] != 1 {
+		t.Errorf("sessions_stored = %v, want 1", snap.Gauges["web.sessions_stored"])
+	}
+	if _, ok := snap.Histograms["web.generate"]; !ok {
+		t.Errorf("web.generate histogram missing: %v", snap.Histograms)
+	}
+	if code, body := get(t, ts.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("pprof index: %d, %.80s", code, body)
 	}
 }
 

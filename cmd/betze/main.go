@@ -36,6 +36,7 @@ import (
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/langs"
 	_ "github.com/joda-explore/betze/internal/langs/all"
+	"github.com/joda-explore/betze/internal/obs"
 	"github.com/joda-explore/betze/internal/query"
 )
 
@@ -155,6 +156,7 @@ func cmdGenerate(args []string, out io.Writer) error {
 	exclude := fs.String("exclude-predicates", "", "comma-separated predicate deny-list")
 	verify := fs.String("verify", "", "dataset file to verify selectivities against (recommended)")
 	languages := fs.String("langs", "", "comma-separated languages to translate to (default: all)")
+	tracePath := fs.String("trace", "", "write translation trace events (JSON lines) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,10 +251,29 @@ func cmdGenerate(args []string, out io.Writer) error {
 			selected = append(selected, l)
 		}
 	}
+	var rec *obs.Recorder
+	var closeTrace func() error
+	if *tracePath != "" {
+		rec, closeTrace, err = newTraceRecorder(*tracePath)
+		if err != nil {
+			return fmt.Errorf("generate: -trace: %w", err)
+		}
+	}
 	for _, l := range selected {
+		start := time.Now()
+		script := langs.Script(l, session.Queries)
+		rec.Record(obs.Event{
+			Type: obs.EvQueryTranslate, Lang: l.ShortName(),
+			Queries: len(session.Queries), Duration: time.Since(start),
+		})
 		path := filepath.Join(*outDir, "queries."+l.ShortName())
-		if err := os.WriteFile(path, []byte(langs.Script(l, session.Queries)), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
 			return err
+		}
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			return fmt.Errorf("generate: -trace: %w", err)
 		}
 	}
 	fmt.Fprintf(out, "generated %d queries (preset %s, seed %d) into %s\n",
@@ -270,6 +291,8 @@ func cmdRun(args []string, out io.Writer) error {
 	systems := fs.String("systems", "joda,mongodb,postgres,jq", "engines to benchmark")
 	timeout := fs.Duration("timeout", 10*time.Minute, "per-engine session timeout")
 	threads := fs.Int("threads", 0, "JODA worker threads (0 = all CPUs)")
+	tracePath := fs.String("trace", "", "write per-query trace events (JSON lines) to this file")
+	metricsPath := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -288,18 +311,69 @@ func cmdRun(args []string, out io.Writer) error {
 		return err
 	}
 
+	var sc obs.Scope
+	var closeTrace func() error
+	if *tracePath != "" {
+		rec, cf, err := newTraceRecorder(*tracePath)
+		if err != nil {
+			return fmt.Errorf("run: -trace: %w", err)
+		}
+		sc.Trace = rec
+		closeTrace = cf
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		sc.Metrics = reg
+	}
+
 	for _, name := range strings.Split(*systems, ",") {
 		eng, err := makeEngine(strings.TrimSpace(name), *threads)
 		if err != nil {
 			return err
 		}
-		if err := benchmarkEngine(out, eng, datasets, file.Queries, *timeout); err != nil {
+		if err := benchmarkEngine(out, sc, eng, datasets, file.Queries, *timeout); err != nil {
 			eng.Close()
 			return err
 		}
 		eng.Close()
 	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			return fmt.Errorf("run: -trace: %w", err)
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("run: -metrics-out: %w", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("run: -metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("run: -metrics-out: %w", err)
+		}
+	}
 	return nil
+}
+
+// newTraceRecorder opens path for a JSON-lines trace and returns the
+// recorder plus a close func that surfaces any deferred write error.
+func newTraceRecorder(path string) (*obs.Recorder, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := obs.NewRecorder(f)
+	return rec, func() error {
+		if err := rec.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
 }
 
 // resolveDatasets maps the session's root dataset names to files. A single
@@ -360,13 +434,18 @@ func makeEngine(name string, threads int) (engine.Engine, error) {
 	}
 }
 
-func benchmarkEngine(out io.Writer, eng engine.Engine, datasets map[string]string, queries []*query.Query, timeout time.Duration) error {
+func benchmarkEngine(out io.Writer, sc obs.Scope, eng engine.Engine, datasets map[string]string, queries []*query.Query, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	ctx = obs.With(ctx, sc)
 	var importTotal time.Duration
 	for base, data := range datasets {
 		imp, err := eng.ImportFile(ctx, base, data)
 		if err != nil {
+			if ctx.Err() != nil {
+				sc.Record(obs.Event{Type: obs.EvTimeout, Engine: eng.Name(), Dataset: base, TimedOut: true})
+				sc.Counter("run.timeouts").Inc()
+			}
 			fmt.Fprintf(out, "%-22s could not load dataset: %v\n", eng.Name(), err)
 			return nil
 		}
@@ -377,6 +456,8 @@ func benchmarkEngine(out io.Writer, eng engine.Engine, datasets map[string]strin
 	for _, q := range queries {
 		stats, err := eng.Execute(ctx, q, io.Discard)
 		if ctx.Err() != nil {
+			sc.Record(obs.Event{Type: obs.EvTimeout, Engine: eng.Name(), Query: q.ID, TimedOut: true})
+			sc.Counter("run.timeouts").Inc()
 			fmt.Fprintf(out, "%-22s timed out after %v\n", eng.Name(), timeout)
 			return nil
 		}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+)
+
+// The seed-determinism regression: the shareability argument of §IV-C only
+// holds if the same seed and options reproduce the session file bit for bit.
+// Unlike TestGenerateDeterministicForSeed (which compares query strings),
+// this covers the full serialised form — node counts, verification flags,
+// step edges — across every generator feature, including the backend-verified
+// path whose document counts come from actually executing queries.
+func TestSessionFileByteIdenticalForSeed(t *testing.T) {
+	docs := testCorpus(1500, 3)
+
+	variants := map[string]Options{
+		"default":     {Seed: 77},
+		"novice":      {Seed: 77, Preset: Novice},
+		"aggregate":   {Seed: 77, Aggregate: true, GroupBy: true},
+		"materialize": {Seed: 77, Materialize: true},
+		"weighted":    {Seed: 77, WeightedPaths: true},
+		"transforms":  {Seed: 77, Transforms: true, Materialize: true},
+	}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			render := func() []byte {
+				// Recompute the statistics each run too: analysis must be
+				// just as repeatable as generation.
+				stats := corpusStats(t, "base", docs)
+				o := opts
+				if name == "default" || name == "materialize" {
+					// Exercise the backend-verified path on two variants.
+					backend := jodasim.New(jodasim.Options{Threads: 2})
+					defer backend.Close()
+					backend.ImportValues("base", docs)
+					o.Backend = backend
+				}
+				s, err := Generate(o, stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := s.File().WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			a, b := render(), render()
+			if !bytes.Equal(a, b) {
+				t.Errorf("same seed+options produced different session files:\n--- first ---\n%.600s\n--- second ---\n%.600s", a, b)
+			}
+			if len(a) == 0 || a[0] != '{' {
+				t.Errorf("session file does not look like JSON: %.80s", a)
+			}
+		})
+	}
+}

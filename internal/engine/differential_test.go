@@ -103,6 +103,31 @@ func fuzzValue(r *rand.Rand, depth int) jsonval.Value {
 	}
 }
 
+// fuzzTransform builds a 1–3 op transformation stage. Renames always target
+// fresh names ("r0"…) that no fuzz document contains, so a rename can never
+// manufacture duplicate keys and the canonicalised outputs stay comparable.
+func fuzzTransform(r *rand.Rand) *query.Transform {
+	n := 1 + r.Intn(3)
+	ops := make([]query.TransformOp, 0, n)
+	for i := 0; i < n; i++ {
+		p := fuzzPaths[r.Intn(len(fuzzPaths))]
+		switch r.Intn(3) {
+		case 0:
+			ops = append(ops, query.TransformOp{
+				Kind: query.TransformRename, Path: p, NewName: fmt.Sprintf("r%d", i),
+			})
+		case 1:
+			ops = append(ops, query.TransformOp{Kind: query.TransformRemove, Path: p})
+		default:
+			ops = append(ops, query.TransformOp{
+				Kind: query.TransformAdd, Path: jsonval.Path(fmt.Sprintf("/t%d", i)),
+				Value: fuzzValue(r, 0),
+			})
+		}
+	}
+	return &query.Transform{Ops: ops}
+}
+
 func fuzzDoc(r *rand.Rand) jsonval.Value {
 	var members []jsonval.Member
 	for _, key := range []string{"a", "b", "c"} {
@@ -142,6 +167,9 @@ func TestDifferentialFuzzAcrossEngines(t *testing.T) {
 	const rounds = 120
 	for round := 0; round < rounds; round++ {
 		q := &query.Query{ID: fmt.Sprintf("f%d", round), Base: "fz", Filter: fuzzPredicate(r, 2)}
+		if r.Intn(3) == 0 {
+			q.Transform = fuzzTransform(r)
+		}
 		if r.Intn(3) == 0 {
 			agg := &query.Aggregation{Path: fuzzPaths[r.Intn(len(fuzzPaths))]}
 			if r.Intn(2) == 0 {

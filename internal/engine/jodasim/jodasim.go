@@ -95,7 +95,9 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 		return nil
 	})
 	if err != nil {
-		return engine.ImportStats{}, fmt.Errorf("jodasim: importing %s: %w", path, err)
+		err = fmt.Errorf("jodasim: importing %s: %w", path, err)
+		engine.ObserveImport(ctx, e.Name(), name, engine.ImportStats{}, err)
+		return engine.ImportStats{}, err
 	}
 	var raw []byte
 	if e.opts.Evict {
@@ -107,7 +109,9 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 	e.mu.Lock()
 	e.base[name] = &dataset{docs: docs, raw: raw}
 	e.mu.Unlock()
-	return engine.ImportStats{Docs: n, Bytes: bytes, StoredBytes: bytes, Duration: time.Since(start)}, nil
+	stats := engine.ImportStats{Docs: n, Bytes: bytes, StoredBytes: bytes, Duration: time.Since(start)}
+	engine.ObserveImport(ctx, e.Name(), name, stats, nil)
+	return stats, nil
 }
 
 // ImportValues loads an in-memory document slice as a base dataset.
@@ -128,37 +132,37 @@ func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
 
 // resolve finds the documents of the query's base dataset together with the
 // residual predicate still to evaluate, reusing the deepest cached ancestor
-// of the composed predicate chain.
-func (e *Engine) resolve(baseName string, filter query.Predicate) ([]jsonval.Value, query.Predicate, error) {
+// of the composed predicate chain. The hit flag reports whether any cached
+// result (full or ancestor) served the lookup.
+func (e *Engine) resolve(baseName string, filter query.Predicate) (docs []jsonval.Value, residual query.Predicate, hit bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if docs, ok := e.derived[baseName]; ok {
-		return docs, filter, nil
+		return docs, filter, false, nil
 	}
 	ds, ok := e.base[baseName]
 	if !ok {
-		return nil, nil, engine.UnknownDataset("jodasim", baseName)
+		return nil, nil, false, engine.UnknownDataset("jodasim", baseName)
 	}
 	if ds.docs == nil {
 		// Evicted: re-parse the retained bytes (the re-read cost of a
 		// memory-limited deployment).
 		docs, err := parseAll(ds.raw, e.opts.Threads)
 		if err != nil {
-			return nil, nil, fmt.Errorf("jodasim: re-parsing evicted dataset %s: %w", baseName, err)
+			return nil, nil, false, fmt.Errorf("jodasim: re-parsing evicted dataset %s: %w", baseName, err)
 		}
 		ds.docs = docs
 	}
 	if filter == nil || e.opts.DisableCache {
-		return ds.docs, filter, nil
+		return ds.docs, filter, false, nil
 	}
 	// Walk the AND-chain from the full predicate towards its prefix,
 	// taking the deepest cached subset.
 	if docs, ok := e.cache[cacheKey(baseName, filter)]; ok {
 		e.cacheHit++
-		return docs, nil, nil
+		return docs, nil, true, nil
 	}
 	pred := filter
-	var residual query.Predicate
 	for {
 		and, ok := pred.(query.And)
 		if !ok {
@@ -172,10 +176,10 @@ func (e *Engine) resolve(baseName string, filter query.Predicate) ([]jsonval.Val
 		pred = and.Left
 		if docs, ok := e.cache[cacheKey(baseName, pred)]; ok {
 			e.cacheHit++
-			return docs, residual, nil
+			return docs, residual, true, nil
 		}
 	}
-	return ds.docs, filter, nil
+	return ds.docs, filter, false, nil
 }
 
 func cacheKey(base string, pred query.Predicate) string {
@@ -188,12 +192,17 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 		return engine.ExecStats{}, fmt.Errorf("jodasim: %w", err)
 	}
 	start := time.Now()
-	docs, residual, err := e.resolve(q.Base, q.Filter)
+	docs, residual, hit, err := e.resolve(q.Base, q.Filter)
 	if err != nil {
+		engine.ObserveExec(ctx, e.Name(), q, engine.ExecStats{}, err)
 		return engine.ExecStats{}, err
+	}
+	if q.Filter != nil && !e.opts.DisableCache {
+		engine.ObserveCache(ctx, e.Name(), q, hit)
 	}
 	matched, err := e.scan(ctx, docs, residual)
 	if err != nil {
+		engine.ObserveExec(ctx, e.Name(), q, engine.ExecStats{}, err)
 		return engine.ExecStats{}, err
 	}
 	stats := engine.ExecStats{Scanned: int64(len(docs)), Matched: int64(len(matched))}
@@ -238,8 +247,10 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 	}
 	if e.opts.Evict {
 		e.evictAll()
+		engine.ObserveEviction(ctx, e.Name())
 	}
 	stats.Duration = time.Since(start)
+	engine.ObserveExec(ctx, e.Name(), q, stats, nil)
 	return stats, nil
 }
 
@@ -392,7 +403,7 @@ func (e *Engine) evictAll() {
 // CountMatching implements the generator's verification backend
 // (core.Backend) on top of the same cached scan machinery.
 func (e *Engine) CountMatching(base string, pred query.Predicate) (int64, error) {
-	docs, residual, err := e.resolve(base, pred)
+	docs, residual, _, err := e.resolve(base, pred)
 	if err != nil {
 		return 0, err
 	}

@@ -60,25 +60,30 @@ func (*Engine) Name() string { return "jq" }
 // ImportFile implements engine.Engine. jq has no import: the engine only
 // records where the file lives (constant time, like the paper's setup where
 // jq "operates directly on the input data files").
-func (e *Engine) ImportFile(_ context.Context, name, path string) (engine.ImportStats, error) {
+func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
 	start := time.Now()
 	info, err := os.Stat(path)
 	if err != nil {
-		return engine.ImportStats{}, fmt.Errorf("jqsim: %w", err)
+		err = fmt.Errorf("jqsim: %w", err)
+		engine.ObserveImport(ctx, e.Name(), name, engine.ImportStats{}, err)
+		return engine.ImportStats{}, err
 	}
 	e.mu.Lock()
 	e.files[name] = path
 	e.mu.Unlock()
-	return engine.ImportStats{Bytes: info.Size(), StoredBytes: info.Size(), Duration: time.Since(start)}, nil
+	stats := engine.ImportStats{Bytes: info.Size(), StoredBytes: info.Size(), Duration: time.Since(start)}
+	engine.ObserveImport(ctx, e.Name(), name, stats, nil)
+	return stats, nil
 }
 
 // Execute implements engine.Engine: stream, parse into boxed values,
 // filter, print.
-func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (stats engine.ExecStats, err error) {
 	if err := q.Validate(); err != nil {
 		return engine.ExecStats{}, fmt.Errorf("jqsim: %w", err)
 	}
 	start := time.Now()
+	defer func() { engine.ObserveExec(ctx, e.Name(), q, stats, err) }()
 	e.mu.Lock()
 	path, ok := e.files[q.Base]
 	e.mu.Unlock()
@@ -91,7 +96,6 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 	}
 	defer f.Close()
 
-	var stats engine.ExecStats
 	var agg *query.Aggregator
 	if q.Agg != nil {
 		agg = query.NewAggregator(*q.Agg)

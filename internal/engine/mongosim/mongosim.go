@@ -117,7 +117,9 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 		return nil
 	})
 	if err != nil {
-		return engine.ImportStats{}, fmt.Errorf("mongosim: importing %s: %w", path, err)
+		err = fmt.Errorf("mongosim: importing %s: %w", path, err)
+		engine.ObserveImport(ctx, e.Name(), name, engine.ImportStats{}, err)
+		return engine.ImportStats{}, err
 	}
 	w.seal()
 	e.mu.Lock()
@@ -127,7 +129,9 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 	for _, b := range coll.blocks {
 		stored += int64(len(b.data))
 	}
-	return engine.ImportStats{Docs: docs, Bytes: rawBytes, StoredBytes: stored, Duration: time.Since(start)}, nil
+	stats := engine.ImportStats{Docs: docs, Bytes: rawBytes, StoredBytes: stored, Duration: time.Since(start)}
+	engine.ObserveImport(ctx, e.Name(), name, stats, nil)
+	return stats, nil
 }
 
 // ImportValues loads an in-memory document slice as a collection.
@@ -154,11 +158,12 @@ func (b block) open() ([]byte, error) {
 
 // Execute implements engine.Engine: a single-threaded block scan with lazy
 // per-leaf path navigation.
-func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (stats engine.ExecStats, err error) {
 	if err := q.Validate(); err != nil {
 		return engine.ExecStats{}, fmt.Errorf("mongosim: %w", err)
 	}
 	start := time.Now()
+	defer func() { engine.ObserveExec(ctx, e.Name(), q, stats, err) }()
 	e.mu.Lock()
 	coll, ok := e.collections[q.Base]
 	e.mu.Unlock()
@@ -166,7 +171,6 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 		return engine.ExecStats{}, engine.UnknownDataset("mongosim", q.Base)
 	}
 
-	var stats engine.ExecStats
 	var agg *query.Aggregator
 	if q.Agg != nil {
 		agg = query.NewAggregator(*q.Agg)

@@ -106,8 +106,9 @@ func (r row) open() ([]byte, error) {
 // "take multiple times longer than the evaluation of the whole session"
 // (the paper's Fig. 10 discussion). A single offending document aborts the
 // whole COPY, as in PostgreSQL.
-func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+func (e *Engine) ImportFile(ctx context.Context, name, path string) (stats engine.ImportStats, err error) {
 	start := time.Now()
+	defer func() { engine.ObserveImport(ctx, e.Name(), name, stats, err) }()
 	f, err := os.Open(path)
 	if err != nil {
 		return engine.ImportStats{}, fmt.Errorf("pgsim: %w", err)
@@ -218,11 +219,12 @@ func (e *Engine) ImportValues(name string, docs []jsonval.Value) error {
 // Execute implements engine.Engine: a sequential scan that evaluates the
 // filter per row — by default with one detoast per leaf predicate (the
 // jsonb function-call behaviour) and binary-searched path lookups.
-func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (stats engine.ExecStats, err error) {
 	if err := q.Validate(); err != nil {
 		return engine.ExecStats{}, fmt.Errorf("pgsim: %w", err)
 	}
 	start := time.Now()
+	defer func() { engine.ObserveExec(ctx, e.Name(), q, stats, err) }()
 	e.mu.Lock()
 	tbl, ok := e.tables[q.Base]
 	e.mu.Unlock()
@@ -230,7 +232,6 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 		return engine.ExecStats{}, engine.UnknownDataset("pgsim", q.Base)
 	}
 
-	var stats engine.ExecStats
 	var agg *query.Aggregator
 	if q.Agg != nil {
 		agg = query.NewAggregator(*q.Agg)

@@ -17,7 +17,7 @@ type Experiment struct {
 	// Title describes what the paper shows.
 	Title string
 	// Run executes the experiment and renders its result as text.
-	Run func(e *Env) (string, error)
+	Run func(e *Env) (*Result, error)
 }
 
 // Experiments lists every reproducible figure and table in paper order.
@@ -54,21 +54,21 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Table1 prints the preset parameters of Table I.
-func Table1(*Env) (string, error) {
+func Table1(*Env) (*Result, error) {
 	rows := make([][]string, 0, 3)
 	for _, p := range core.Presets() {
 		rows = append(rows, []string{p.Name,
 			fmt.Sprintf("%.2f", p.Alpha), fmt.Sprintf("%.2f", p.Beta), fmt.Sprintf("%d", p.Queries)})
 	}
-	return table([]string{"preset", "go back probability (alpha)", "random jump probability (beta)", "queries per session"}, rows), nil
+	return tableResult("table1", []string{"preset", "go back probability (alpha)", "random jump probability (beta)", "queries per session"}, rows), nil
 }
 
 // Fig5 fixes n=20 for every preset and reports the mean runtime of the i-th
 // query across sessions, executed on JODA only.
-func Fig5(e *Env) (string, error) {
+func Fig5(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	const n = 20
 	sums := map[string][]time.Duration{}
@@ -78,11 +78,11 @@ func Fig5(e *Env) (string, error) {
 		for s := 0; s < e.Cfg.Sessions; s++ {
 			sess, err := ds.generate(core.Options{Preset: preset, Queries: n, Seed: e.Cfg.Seed + int64(s)})
 			if err != nil {
-				return "", fmt.Errorf("fig5 %s session %d: %w", preset.Name, s, err)
+				return nil, fmt.Errorf("fig5 %s session %d: %w", preset.Name, s, err)
 			}
 			res := e.runSession(jodaSpec(0), ds, sess)
 			if res.Err != nil || res.ImportErr != nil {
-				return "", fmt.Errorf("fig5: %v / %v", res.Err, res.ImportErr)
+				return nil, fmt.Errorf("fig5: %v / %v", res.Err, res.ImportErr)
 			}
 			if len(res.QueryTimes) != n {
 				continue // timed out; skip this session
@@ -93,7 +93,7 @@ func Fig5(e *Env) (string, error) {
 			runs++
 		}
 		if runs == 0 {
-			return "", fmt.Errorf("fig5: every %s session timed out", preset.Name)
+			return nil, fmt.Errorf("fig5: every %s session timed out", preset.Name)
 		}
 		avg := make([]time.Duration, n)
 		for i := range perQuery {
@@ -108,15 +108,15 @@ func Fig5(e *Env) (string, error) {
 			FormatDuration(sums["intermediate"][i]),
 			FormatDuration(sums["expert"][i])}
 	}
-	return table([]string{"query", "novice", "intermediate", "expert"}, rows), nil
+	return tableResult("fig5", []string{"query", "novice", "intermediate", "expert"}, rows), nil
 }
 
 // Fig6 reports the distribution of full-session execution times per preset
 // with the natural session lengths (20/10/5).
-func Fig6(e *Env) (string, error) {
+func Fig6(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var rows [][]string
 	for _, preset := range core.Presets() {
@@ -124,11 +124,11 @@ func Fig6(e *Env) (string, error) {
 		for s := 0; s < e.Cfg.Sessions; s++ {
 			sess, err := ds.generate(core.Options{Preset: preset, Seed: e.Cfg.Seed + int64(s)})
 			if err != nil {
-				return "", fmt.Errorf("fig6 %s session %d: %w", preset.Name, s, err)
+				return nil, fmt.Errorf("fig6 %s session %d: %w", preset.Name, s, err)
 			}
 			res := e.runSession(jodaSpec(0), ds, sess)
 			if res.Err != nil || res.ImportErr != nil {
-				return "", fmt.Errorf("fig6: %v / %v", res.Err, res.ImportErr)
+				return nil, fmt.Errorf("fig6: %v / %v", res.Err, res.ImportErr)
 			}
 			totals = append(totals, res.Total)
 		}
@@ -137,16 +137,16 @@ func Fig6(e *Env) (string, error) {
 			FormatDuration(b.Min), FormatDuration(b.Q1), FormatDuration(b.Median),
 			FormatDuration(b.Q3), FormatDuration(b.Max)})
 	}
-	return table([]string{"preset", "min", "q1", "median", "q3", "max"}, rows), nil
+	return tableResult("fig6", []string{"preset", "min", "q1", "median", "q3", "max"}, rows), nil
 }
 
 // Fig7 sweeps the alpha/beta grid with n=10 queries per session and reports
 // the mean session time per cell (JODA only, like the paper's
 // benchmark-centric experiments).
-func Fig7(e *Env) (string, error) {
+func Fig7(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	header := []string{"alpha\\beta"}
 	for b := 0; b < 10; b++ {
@@ -172,11 +172,11 @@ func Fig7(e *Env) (string, error) {
 					Queries: 10, Seed: seed,
 				})
 				if err != nil {
-					return "", fmt.Errorf("fig7 a=%.1f b=%.1f: %w", alpha, beta, err)
+					return nil, fmt.Errorf("fig7 a=%.1f b=%.1f: %w", alpha, beta, err)
 				}
 				res := e.runSession(jodaSpec(0), ds, sess)
 				if res.Err != nil || res.ImportErr != nil {
-					return "", fmt.Errorf("fig7: %v / %v", res.Err, res.ImportErr)
+					return nil, fmt.Errorf("fig7: %v / %v", res.Err, res.ImportErr)
 				}
 				total += res.Total
 				runs++
@@ -185,12 +185,12 @@ func Fig7(e *Env) (string, error) {
 		}
 		rows = append(rows, row)
 	}
-	return table(header, rows), nil
+	return tableResult("fig7", header, rows), nil
 }
 
 // Fig8 tallies the generated predicate types per dataset: a preset sweep on
 // Twitter and one default session each on NoBench and Reddit.
-func Fig8(e *Env) (string, error) {
+func Fig8(e *Env) (*Result, error) {
 	type datasetCase struct {
 		label    string
 		ds       *datasetEnv
@@ -198,15 +198,15 @@ func Fig8(e *Env) (string, error) {
 	}
 	tw, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	nb, err := e.NoBench(e.Cfg.NoBenchDocs)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	rd, err := e.Reddit()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var cases []datasetCase
 	var twSessions []*core.Session
@@ -214,7 +214,7 @@ func Fig8(e *Env) (string, error) {
 		for s := 0; s < e.Cfg.Sessions; s++ {
 			sess, err := tw.generate(core.Options{Preset: preset, Seed: e.Cfg.Seed + int64(s)})
 			if err != nil {
-				return "", fmt.Errorf("fig8 twitter: %w", err)
+				return nil, fmt.Errorf("fig8 twitter: %w", err)
 			}
 			twSessions = append(twSessions, sess)
 		}
@@ -222,12 +222,12 @@ func Fig8(e *Env) (string, error) {
 	cases = append(cases, datasetCase{"Twitter", tw, twSessions})
 	nbSess, err := nb.generate(core.Options{Seed: 123})
 	if err != nil {
-		return "", fmt.Errorf("fig8 nobench: %w", err)
+		return nil, fmt.Errorf("fig8 nobench: %w", err)
 	}
 	cases = append(cases, datasetCase{"NoBench", nb, []*core.Session{nbSess}})
 	rdSess, err := rd.generate(core.Options{Seed: 123})
 	if err != nil {
-		return "", fmt.Errorf("fig8 reddit: %w", err)
+		return nil, fmt.Errorf("fig8 reddit: %w", err)
 	}
 	cases = append(cases, datasetCase{"Reddit", rd, []*core.Session{rdSess}})
 
@@ -255,20 +255,20 @@ func Fig8(e *Env) (string, error) {
 			fmt.Sprintf("%d", counts["NoBench"][kind]),
 			fmt.Sprintf("%d", counts["Reddit"][kind])})
 	}
-	return table([]string{"predicate", "Twitter", "NoBench", "Reddit"}, rows), nil
+	return tableResult("fig8", []string{"predicate", "Twitter", "NoBench", "Reddit"}, rows), nil
 }
 
 // Fig9 sweeps the JODA thread count over the Twitter session (intermediate
 // preset, seed 123); the single-threaded engines are measured once and
 // repeated, as their execution does not depend on the sweep.
-func Fig9(e *Env) (string, error) {
+func Fig9(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	sess, err := ds.generate(core.Options{Seed: 123})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	flat := map[string]SessionResult{}
 	for _, spec := range []engineSpec{mongoSpec(), pgSpec(), jqSpec()} {
@@ -280,25 +280,25 @@ func Fig9(e *Env) (string, error) {
 		rows = append(rows, []string{fmt.Sprintf("%d", t),
 			res.cell(), flat["MongoDB"].cell(), flat["PostgreSQL"].cell(), flat["jq"].cell()})
 	}
-	out := table([]string{"threads", "JODA", "MongoDB", "PostgreSQL", "jq"}, rows)
-	out += "(single-threaded systems measured once; they do not scale with threads)\n"
-	return out, nil
+	res := tableResult("fig9", []string{"threads", "JODA", "MongoDB", "PostgreSQL", "jq"}, rows)
+	res.note("(single-threaded systems measured once; they do not scale with threads)")
+	return res, nil
 }
 
 // Fig10 sweeps the NoBench document count and reports the wall-clock time
 // including import, with the configured timeout (jq drops out first, as in
 // the paper).
-func Fig10(e *Env) (string, error) {
+func Fig10(e *Env) (*Result, error) {
 	sessOpts := core.Options{Seed: 123}
 	var rows [][]string
 	for _, n := range e.Cfg.NoBenchSweep {
 		ds, err := e.NoBench(n)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		sess, err := ds.generate(sessOpts)
 		if err != nil {
-			return "", fmt.Errorf("fig10 n=%d: %w", n, err)
+			return nil, fmt.Errorf("fig10 n=%d: %w", n, err)
 		}
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, spec := range systemSpecs(0) {
@@ -314,27 +314,27 @@ func Fig10(e *Env) (string, error) {
 			e.ReleaseNoBench(n) // sweep sizes are not reused elsewhere
 		}
 	}
-	return table([]string{"documents", "JODA", "MongoDB", "PostgreSQL", "jq"}, rows), nil
+	return tableResult("fig10", []string{"documents", "JODA", "MongoDB", "PostgreSQL", "jq"}, rows), nil
 }
 
 // Table2 reports session execution time without import for the intermediate
 // preset with seed 123, on Twitter and NoBench, including JODA's eviction
 // mode.
-func Table2(e *Env) (string, error) {
+func Table2(e *Env) (*Result, error) {
 	tw, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	nb, err := e.NoBench(e.Cfg.NoBenchDocs)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	specs := []engineSpec{jodaSpec(0), jodaEvictSpec(), mongoSpec(), pgSpec(), jqSpec()}
 	results := map[string]map[string]SessionResult{}
 	for label, ds := range map[string]*datasetEnv{"Twitter": tw, "NoBench": nb} {
 		sess, err := ds.generate(core.Options{Seed: 123})
 		if err != nil {
-			return "", fmt.Errorf("table2 %s: %w", label, err)
+			return nil, fmt.Errorf("table2 %s: %w", label, err)
 		}
 		results[label] = map[string]SessionResult{}
 		for _, spec := range specs {
@@ -347,24 +347,24 @@ func Table2(e *Env) (string, error) {
 			results["Twitter"][spec.name].cell(),
 			results["NoBench"][spec.name].cell()})
 	}
-	return table([]string{"system", "Twitter", "NoBench"}, rows), nil
+	return tableResult("table2", []string{"system", "Twitter", "NoBench"}, rows), nil
 }
 
 // Table3 crosses presets, aggregation configurations, systems and datasets
 // with seed 1. PostgreSQL fails to load the Reddit dataset (U+0000 bodies),
 // exactly like the paper's Table III.
-func Table3(e *Env) (string, error) {
+func Table3(e *Env) (*Result, error) {
 	tw, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	nb, err := e.NoBench(e.Cfg.NoBenchDocs)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	rd, err := e.Reddit()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	type cfgCase struct {
 		label string
@@ -397,7 +397,7 @@ func Table3(e *Env) (string, error) {
 					opts.Seed = 1
 					sess, err := dc.ds.generate(opts)
 					if err != nil {
-						return "", fmt.Errorf("table3 %s/%s/%s: %w", dc.label, preset.Name, c.label, err)
+						return nil, fmt.Errorf("table3 %s/%s/%s: %w", dc.label, preset.Name, c.label, err)
 					}
 					res := e.runSession(spec, dc.ds, sess)
 					row = append(row, res.cell())
@@ -406,16 +406,16 @@ func Table3(e *Env) (string, error) {
 			rows = append(rows, row)
 		}
 	}
-	return table(header, rows), nil
+	return tableResult("table3", header, rows), nil
 }
 
 // Table4 compares the path-depth distribution of the documents with the
 // distribution of attribute references in default and weighted-path
 // sessions.
-func Table4(e *Env) (string, error) {
+func Table4(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	docDepth := map[int]int64{}
 	var docTotal int64
@@ -453,14 +453,14 @@ func Table4(e *Env) (string, error) {
 			percent(defDepth[d], defTotal),
 			percent(wDepth[d], wTotal)})
 	}
-	return table([]string{"path depth", "documents", "queries default", "queries weighted paths"}, rows), nil
+	return tableResult("table4", []string{"path depth", "documents", "queries default", "queries weighted paths"}, rows), nil
 }
 
 // GenCost reports the analysis/generation time split of §VI-A.
-func GenCost(e *Env) (string, error) {
+func GenCost(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var genTotal time.Duration
 	queries := 0
@@ -470,28 +470,29 @@ func GenCost(e *Env) (string, error) {
 			start := time.Now()
 			sess, err := ds.generate(core.Options{Preset: preset, Queries: 20, Seed: e.Cfg.Seed + int64(s)})
 			if err != nil {
-				return "", fmt.Errorf("gencost: %w", err)
+				return nil, fmt.Errorf("gencost: %w", err)
 			}
 			genTotal += time.Since(start)
 			queries += len(sess.Queries)
 			sessions++
 		}
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "sessions generated:      %d (%d queries total)\n", sessions, queries)
-	fmt.Fprintf(&sb, "dataset analysis time:   %s (once per dataset, reusable)\n", FormatDuration(ds.analysis))
-	fmt.Fprintf(&sb, "query generation time:   %s total, %s per session\n",
-		FormatDuration(genTotal), FormatDuration(genTotal/time.Duration(sessions)))
-	fmt.Fprintf(&sb, "generation includes selectivity verification against the backend\n")
-	return sb.String(), nil
+	res := tableResult("gencost", []string{"metric", "value"}, [][]string{
+		{"sessions generated", fmt.Sprintf("%d (%d queries total)", sessions, queries)},
+		{"dataset analysis time", FormatDuration(ds.analysis) + " (once per dataset, reusable)"},
+		{"query generation time", fmt.Sprintf("%s total, %s per session",
+			FormatDuration(genTotal), FormatDuration(genTotal/time.Duration(sessions)))},
+	})
+	res.note("generation includes selectivity verification against the backend")
+	return res, nil
 }
 
 // Skew reports the attribute-reference skew of §VI-C: the share of
 // references going to the top-10 and top-20 distinct attributes.
-func Skew(e *Env) (string, error) {
+func Skew(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	refs := map[jsonval.Path]int64{}
 	var total int64
@@ -499,7 +500,7 @@ func Skew(e *Env) (string, error) {
 		for s := 0; s < e.Cfg.Sessions; s++ {
 			sess, err := ds.generate(core.Options{Preset: preset, Queries: 20, Seed: e.Cfg.Seed + int64(s)})
 			if err != nil {
-				return "", fmt.Errorf("skew: %w", err)
+				return nil, fmt.Errorf("skew: %w", err)
 			}
 			for _, p := range sess.PathReferences() {
 				refs[p]++
@@ -528,13 +529,19 @@ func Skew(e *Env) (string, error) {
 		}
 		return sum
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "attribute references:    %d to %d distinct attributes\n", total, len(ranked))
-	fmt.Fprintf(&sb, "top-10 attributes:       %d references (%s)\n", topShare(10), percent(topShare(10), total))
-	fmt.Fprintf(&sb, "top-20 attributes:       %d references (%s)\n", topShare(20), percent(topShare(20), total))
-	sb.WriteString("most referenced attributes:\n")
+	res := tableResult("skew", []string{"metric", "value"}, [][]string{
+		{"attribute references", fmt.Sprintf("%d to %d distinct attributes", total, len(ranked))},
+		{"top-10 attributes", fmt.Sprintf("%d references (%s)", topShare(10), percent(topShare(10), total))},
+		{"top-20 attributes", fmt.Sprintf("%d references (%s)", topShare(20), percent(topShare(20), total))},
+	})
+	topRows := make([][]string, 0, 10)
 	for i := 0; i < 10 && i < len(ranked); i++ {
-		fmt.Fprintf(&sb, "  %-50s %d\n", ranked[i].path, ranked[i].count)
+		topRows = append(topRows, []string{string(ranked[i].path), fmt.Sprintf("%d", ranked[i].count)})
 	}
-	return sb.String(), nil
+	res.Tables = append(res.Tables, ResultTable{
+		Name:   "skew_top_attributes",
+		Header: []string{"attribute", "references"},
+		Rows:   topRows,
+	})
+	return res, nil
 }

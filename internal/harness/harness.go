@@ -24,6 +24,7 @@ import (
 	"github.com/joda-explore/betze/internal/engine/pgsim"
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/obs"
 )
 
 // Config scales the reproduction. The zero value gives a laptop-sized run
@@ -58,6 +59,10 @@ type Config struct {
 	Timeout time.Duration
 	// Seed is the base seed; experiment i uses Seed+i-style offsets.
 	Seed int64
+	// Obs is the observability scope experiments report into: session and
+	// query trace events plus engine metrics. The zero scope discards
+	// everything.
+	Obs obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -299,7 +304,10 @@ type SessionResult struct {
 }
 
 // runSession imports the dataset into a fresh engine and executes every
-// query of the session, honouring the configured timeout.
+// query of the session, honouring the configured timeout. The configured
+// observability scope receives session_start/session_end bracketing events
+// (plus a timeout event when the deadline trips); the engines themselves
+// emit the per-import and per-query events through the context.
 func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) SessionResult {
 	res := SessionResult{Engine: spec.name}
 	eng, err := spec.make(e.dir)
@@ -310,9 +318,36 @@ func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) Sessi
 	defer eng.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
 	defer cancel()
+	ctx = obs.With(ctx, e.Cfg.Obs)
+	sc := e.Cfg.Obs
+	// Bracketing events carry eng.Name() — the same label the engine's own
+	// import/query events use — so consumers can join them; spec.name is
+	// only a display name ("JODA memory evicted" vs "JODA (evicted)").
+	engName := eng.Name()
+	label := fmt.Sprintf("%s/seed%d", ds.name, s.Seed)
+	sc.Record(obs.Event{
+		Type: obs.EvSessionStart, Engine: engName, Dataset: ds.name,
+		Session: label, Queries: len(s.Queries),
+	})
+	defer func() {
+		sc.Record(obs.Event{
+			Type: obs.EvSessionEnd, Engine: engName, Dataset: ds.name,
+			Session: label, Duration: res.Total, TimedOut: res.TimedOut,
+		})
+		sc.Observe("harness.session", res.Total)
+		sc.Counter("harness.sessions").Inc()
+	}()
 
 	imp, err := eng.ImportFile(ctx, ds.name, ds.file)
 	if err != nil {
+		if ctx.Err() != nil {
+			res.TimedOut = true
+			sc.Record(obs.Event{
+				Type: obs.EvTimeout, Engine: engName, Dataset: ds.name,
+				Session: label, Duration: e.Cfg.Timeout,
+			})
+			sc.Counter("harness.timeouts").Inc()
+		}
 		res.ImportErr = err
 		return res
 	}
@@ -321,6 +356,11 @@ func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) Sessi
 		stats, err := eng.Execute(ctx, q, io.Discard)
 		if ctx.Err() != nil {
 			res.TimedOut = true
+			sc.Record(obs.Event{
+				Type: obs.EvTimeout, Engine: engName, Dataset: ds.name,
+				Session: label, Query: q.ID, Duration: e.Cfg.Timeout,
+			})
+			sc.Counter("harness.timeouts").Inc()
 			break
 		}
 		if err != nil {

@@ -115,10 +115,11 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"multiuser": {"concurrent users", "queries/s", "8"},
 	}
 	for _, exp := range Experiments() {
-		out, err := exp.Run(env)
+		res, err := exp.Run(env)
 		if err != nil {
 			t.Fatalf("%s: %v", exp.ID, err)
 		}
+		out := res.Text()
 		if out == "" {
 			t.Fatalf("%s produced no output", exp.ID)
 		}
@@ -126,6 +127,13 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 			if !strings.Contains(out, frag) {
 				t.Errorf("%s output missing %q:\n%s", exp.ID, frag, out)
 			}
+		}
+		// Every experiment must also export machine-readable forms.
+		if csvOut := res.CSV(); !strings.HasPrefix(csvOut, "# ") {
+			t.Errorf("%s CSV export missing table header comment:\n%s", exp.ID, csvOut)
+		}
+		if _, err := res.JSON(); err != nil {
+			t.Errorf("%s JSON export: %v", exp.ID, err)
 		}
 		t.Logf("%s:\n%s", exp.Title, out)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/joda-explore/betze/internal/core"
 	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/obs"
 )
 
 // MultiUser evaluates concurrent exploration sessions against a single
@@ -18,10 +19,10 @@ import (
 // also possible."). For each concurrency level it runs a mixed population
 // (novice/intermediate/expert round-robin) and reports wall time, total
 // queries and throughput.
-func MultiUser(e *Env) (string, error) {
+func MultiUser(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	levels := []int{1, 2, 4, 8}
 	presets := core.Presets()
@@ -35,7 +36,7 @@ func MultiUser(e *Env) (string, error) {
 				Seed:   e.Cfg.Seed + int64(100+u),
 			})
 			if err != nil {
-				return "", fmt.Errorf("multiuser: %w", err)
+				return nil, fmt.Errorf("multiuser: %w", err)
 			}
 			sessions[u] = sess
 		}
@@ -43,6 +44,7 @@ func MultiUser(e *Env) (string, error) {
 		eng.ImportValues(ds.name, ds.docs)
 
 		ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
+		ctx = obs.With(ctx, e.Cfg.Obs)
 		start := time.Now()
 		var wg sync.WaitGroup
 		errs := make([]error, users)
@@ -52,12 +54,24 @@ func MultiUser(e *Env) (string, error) {
 			wg.Add(1)
 			go func(u int, sess *core.Session) {
 				defer wg.Done()
+				label := fmt.Sprintf("%s/user%d", ds.name, u)
+				e.Cfg.Obs.Record(obs.Event{
+					Type: obs.EvSessionStart, Engine: eng.Name(), Dataset: ds.name,
+					Session: label, Queries: len(sess.Queries),
+				})
+				var total time.Duration
 				for _, q := range sess.Queries {
-					if _, err := eng.Execute(ctx, q, io.Discard); err != nil {
+					stats, err := eng.Execute(ctx, q, io.Discard)
+					if err != nil {
 						errs[u] = err
 						return
 					}
+					total += stats.Duration
 				}
+				e.Cfg.Obs.Record(obs.Event{
+					Type: obs.EvSessionEnd, Engine: eng.Name(), Dataset: ds.name,
+					Session: label, Duration: total,
+				})
 			}(u, sess)
 		}
 		wg.Wait()
@@ -66,7 +80,7 @@ func MultiUser(e *Env) (string, error) {
 		eng.Close()
 		for _, err := range errs {
 			if err != nil {
-				return "", fmt.Errorf("multiuser (%d users): %w", users, err)
+				return nil, fmt.Errorf("multiuser (%d users): %w", users, err)
 			}
 		}
 		rows = append(rows, []string{
@@ -76,7 +90,7 @@ func MultiUser(e *Env) (string, error) {
 			fmt.Sprintf("%.0f", float64(queries)/wall.Seconds()),
 		})
 	}
-	out := table([]string{"concurrent users", "queries", "wall time", "queries/s"}, rows)
-	out += "(mixed novice/intermediate/expert population on one shared JODA instance)\n"
-	return out, nil
+	res := tableResult("multiuser", []string{"concurrent users", "queries", "wall time", "queries/s"}, rows)
+	res.note("(mixed novice/intermediate/expert population on one shared JODA instance)")
+	return res, nil
 }

@@ -1,12 +1,100 @@
 package harness
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 )
+
+// Result is the structured output of one experiment: one or more named
+// tables plus free-form notes. Experiments build Results instead of
+// rendering text directly, so every figure and table of the paper can be
+// exported machine-readable (CSV, JSON) as well as human-readable (Text) —
+// the structured-result-reporting discipline IDEBench and GBD argue
+// benchmarks owe their users.
+type Result struct {
+	Tables []ResultTable `json:"tables"`
+	Notes  []string      `json:"notes,omitempty"`
+}
+
+// ResultTable is one named table of string cells.
+type ResultTable struct {
+	// Name identifies the table within its experiment (usually the
+	// experiment ID; suffixed when an experiment emits several tables).
+	Name   string     `json:"name"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// tableResult builds a single-table result.
+func tableResult(name string, header []string, rows [][]string) *Result {
+	return &Result{Tables: []ResultTable{{Name: name, Header: header, Rows: rows}}}
+}
+
+// note appends a formatted note line.
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Text renders the result the way the paper's tables read: tab-aligned
+// columns, one block per table, notes at the end.
+func (r *Result) Text() string {
+	var sb strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+		fmt.Fprintln(w, strings.Repeat("-", 4+8*len(t.Header)))
+		for _, row := range t.Rows {
+			fmt.Fprintln(w, strings.Join(row, "\t"))
+		}
+		w.Flush()
+	}
+	for _, n := range r.Notes {
+		sb.WriteString(n)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders every table as an RFC-4180 block headed by a "# name" comment
+// line, with blocks separated by blank lines and notes as trailing "# note:"
+// comments. Single-table results parse directly after stripping comment
+// lines.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "# %s\n", t.Name)
+		w := csv.NewWriter(&sb)
+		w.Write(t.Header)
+		for _, row := range t.Rows {
+			w.Write(row)
+		}
+		w.Flush()
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// JSON renders the result as indented JSON.
+func (r *Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("harness: encoding result: %w", err)
+	}
+	return append(data, '\n'), nil
+}
 
 // FormatDuration renders durations the way the paper's tables do: seconds
 // below a minute ("32s", "2.4s"), minutes below an hour ("19.3m"), hours
@@ -41,19 +129,6 @@ func (r SessionResult) cell() string {
 	default:
 		return FormatDuration(r.Total)
 	}
-}
-
-// table renders rows with tab alignment.
-func table(header []string, rows [][]string) string {
-	var sb strings.Builder
-	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, strings.Join(header, "\t"))
-	fmt.Fprintln(w, strings.Repeat("-", 4+8*len(header)))
-	for _, row := range rows {
-		fmt.Fprintln(w, strings.Join(row, "\t"))
-	}
-	w.Flush()
-	return sb.String()
 }
 
 // boxStats summarises a sample: min, first quartile, median, third

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden render files")
+
+// goldenResult is a fixed two-table result exercising every renderer
+// feature: multi-table output, duration cells, the paper's timeout dash,
+// cells that need CSV quoting, and notes.
+func goldenResult() *Result {
+	res := &Result{
+		Tables: []ResultTable{
+			{
+				Name:   "times",
+				Header: []string{"preset", "JODA", "MongoDB", "jq"},
+				Rows: [][]string{
+					{"novice", FormatDuration(2400 * time.Millisecond), FormatDuration(74 * time.Second), "-"},
+					{"expert", FormatDuration(500 * time.Microsecond), FormatDuration(66 * time.Minute), "load failed"},
+				},
+			},
+			{
+				Name:   "times_quoting",
+				Header: []string{"metric", "value"},
+				Rows: [][]string{
+					{"comma, separated", "a \"quoted\" cell"},
+					{"queries/s", "41"},
+				},
+			},
+		},
+	}
+	res.note("(n=%d sessions per cell)", 10)
+	res.note("second note")
+	return res
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/harness -run TestRenderGolden -update' to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestRenderGoldenText(t *testing.T) {
+	checkGolden(t, "render_golden.txt", []byte(goldenResult().Text()))
+}
+
+func TestRenderGoldenCSV(t *testing.T) {
+	out := goldenResult().CSV()
+	checkGolden(t, "render_golden.csv", []byte(out))
+
+	// The CSV block must round-trip through a standard reader once the
+	// comment lines are stripped.
+	var dataLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		dataLines = append(dataLines, line)
+	}
+	r := csv.NewReader(strings.NewReader(strings.Join(dataLines, "\n")))
+	r.FieldsPerRecord = -1 // the two tables have different widths
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+	// 2 headers + 2 + 2 rows across the two tables.
+	if len(records) != 6 {
+		t.Errorf("parsed %d CSV records, want 6", len(records))
+	}
+	if got := records[4][1]; got != "a \"quoted\" cell" {
+		t.Errorf("quoted cell round-trip = %q", got)
+	}
+}
+
+func TestRenderGoldenJSON(t *testing.T) {
+	data, err := goldenResult().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "render_golden.json", data)
+
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(back.Tables) != 2 || back.Tables[0].Name != "times" || len(back.Notes) != 2 {
+		t.Errorf("JSON round-trip lost structure: %+v", back)
+	}
+	if back.Tables[1].Rows[0][0] != "comma, separated" {
+		t.Errorf("JSON cell round-trip = %q", back.Tables[1].Rows[0][0])
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is a streaming duration histogram with HDR-style log-linear
+// buckets: microsecond resolution below 16µs, then 16 linear sub-buckets
+// per power of two, giving a worst-case relative quantile error of about
+// 1/16 ≈ 6% across the full time.Duration range — good enough to read p99s
+// off a benchmark run without pre-declaring bucket bounds.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets []int64 // grown lazily to the highest observed bucket
+}
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+)
+
+// bucketIndex maps a microsecond value to its bucket.
+func bucketIndex(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	v := uint64(us)
+	if v < histSub {
+		return int(v)
+	}
+	octave := bits.Len64(v) - 1 // 2^octave <= v < 2^(octave+1)
+	sub := (v >> (uint(octave) - histSubBits)) & (histSub - 1)
+	return histSub + (octave-histSubBits)*histSub + int(sub)
+}
+
+// bucketBounds returns the inclusive lower bound and width of a bucket, in
+// microseconds.
+func bucketBounds(idx int) (lo, width int64) {
+	if idx < histSub {
+		return int64(idx), 1
+	}
+	k := idx - histSub
+	octave := histSubBits + k/histSub
+	sub := k % histSub
+	width = int64(1) << (octave - histSubBits)
+	lo = int64(1)<<octave + int64(sub)*width
+	return lo, width
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	idx := bucketIndex(d.Microseconds())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	if idx >= len(h.buckets) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[idx]++
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the covering bucket, clamped to the exact observed
+// min/max. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for idx, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo, width := bucketBounds(idx)
+			frac := (rank - cum) / float64(n)
+			us := float64(lo) + frac*float64(width)
+			d := time.Duration(us * float64(time.Microsecond))
+			if d < h.min {
+				d = h.min
+			}
+			if d > h.max {
+				d = h.max
+			}
+			return d
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// HistogramSnapshot is the exportable summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Snapshot summarises the histogram under one lock acquisition.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+		s.P50 = h.quantileLocked(0.5)
+		s.P90 = h.quantileLocked(0.9)
+		s.P99 = h.quantileLocked(0.99)
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// Handler exposes the registry as an expvar-style JSON endpoint. Mount it
+// under /debug/metrics next to net/http/pprof to make a running benchmark
+// service observable:
+//
+//	mux.Handle("GET /debug/metrics", obs.Handler(reg))
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every sink must tolerate nil receivers and the zero Scope: the whole
+	// design rests on uninstrumented runs paying nothing.
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter value %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value %v", g.Value())
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Quantile(0.5) != 0 || h.Snapshot().Count != 0 {
+		t.Errorf("nil histogram not empty")
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(time.Second)
+	if r.Names() != nil || r.Snapshot().Counters == nil {
+		t.Errorf("nil registry snapshot: %+v", r.Snapshot())
+	}
+	var rec *Recorder
+	rec.Record(Event{Type: EvImport})
+	rec.SetClock(time.Now)
+	if rec.Err() != nil {
+		t.Errorf("nil recorder err: %v", rec.Err())
+	}
+	var s Scope
+	if s.Enabled() {
+		t.Errorf("zero scope enabled")
+	}
+	s.Record(Event{Type: EvImport})
+	s.Counter("x").Inc()
+	s.Gauge("x").Set(1)
+	s.Observe("x", time.Second)
+}
+
+func TestScopeContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx).Enabled() {
+		t.Fatalf("empty context carries a scope")
+	}
+	// A disabled scope must not be attached at all.
+	if With(ctx, Scope{}) != ctx {
+		t.Errorf("With(zero scope) allocated a new context")
+	}
+	sc := Scope{Metrics: NewRegistry()}
+	got := From(With(ctx, sc))
+	if !got.Enabled() || got.Metrics != sc.Metrics {
+		t.Errorf("scope did not round-trip: %+v", got)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer one registry from many goroutines (run under -race); totals
+	// must come out exact.
+	reg := NewRegistry()
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("ops").Inc()
+				reg.Counter(fmt.Sprintf("worker.%d", w%4)).Add(2)
+				reg.Gauge("level").Add(1)
+				reg.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = reg.Snapshot() // concurrent readers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("ops").Value(); got != workers*perWorker {
+		t.Errorf("ops = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("level").Value(); got != workers*perWorker {
+		t.Errorf("level = %v, want %d", got, workers*perWorker)
+	}
+	snap := reg.Snapshot()
+	if snap.Histograms["lat"].Count != workers*perWorker {
+		t.Errorf("lat count = %d", snap.Histograms["lat"].Count)
+	}
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "worker.") {
+			total += v
+		}
+	}
+	if total != workers*perWorker*2 {
+		t.Errorf("sharded counters sum %d, want %d", total, workers*perWorker*2)
+	}
+}
+
+func TestHistogramBucketsInvertible(t *testing.T) {
+	// Every bucket's bounds must cover exactly the values that map to it.
+	for idx := 0; idx < histSub+10*histSub; idx++ {
+		lo, width := bucketBounds(idx)
+		if bucketIndex(lo) != idx || bucketIndex(lo+width-1) != idx {
+			t.Fatalf("bucket %d bounds [%d,%d) map to %d/%d",
+				idx, lo, lo+width, bucketIndex(lo), bucketIndex(lo+width-1))
+		}
+		if idx > 0 {
+			if prevLo, prevW := bucketBounds(idx - 1); prevLo+prevW != lo {
+				t.Fatalf("gap between bucket %d and %d: %d+%d != %d", idx-1, idx, prevLo, prevW, lo)
+			}
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Errorf("negative duration bucket = %d", bucketIndex(-5))
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Quantile estimates must stay within the log-linear design error
+	// (1/16 per octave; allow 10% for interpolation slack) of the exact
+	// order statistics, across two very different distributions.
+	distributions := map[string]func(r *rand.Rand) time.Duration{
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(int64(10 * time.Millisecond)))
+		},
+		"bimodal": func(r *rand.Rand) time.Duration {
+			if r.Intn(10) == 0 {
+				return time.Duration(900+r.Int63n(200)) * time.Millisecond
+			}
+			return time.Duration(50+r.Int63n(100)) * time.Microsecond
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			h := &Histogram{}
+			samples := make([]time.Duration, 20000)
+			for i := range samples {
+				samples[i] = gen(r)
+				h.Observe(samples[i])
+			}
+			sortDurations(samples)
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				exact := samples[int(q*float64(len(samples)-1))]
+				got := h.Quantile(q)
+				if tol := float64(exact) * 0.10; absDelta(got, exact) > tol+float64(time.Microsecond) {
+					t.Errorf("q%.2f = %v, exact %v (tolerance 10%%)", q, got, exact)
+				}
+			}
+			if h.Quantile(0) != samples[0] || h.Quantile(1) != samples[len(samples)-1] {
+				t.Errorf("extremes not exact: %v/%v vs %v/%v",
+					h.Quantile(0), h.Quantile(1), samples[0], samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+func sortDurations(s []time.Duration) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func absDelta(a, b time.Duration) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := &Histogram{}
+	if s := h.Snapshot(); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot: %+v", s)
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 6*time.Millisecond || s.Mean != 3*time.Millisecond {
+		t.Errorf("snapshot: %+v", s)
+	}
+	if s.Min != 2*time.Millisecond || s.Max != 4*time.Millisecond {
+		t.Errorf("min/max: %+v", s)
+	}
+}
+
+func TestRecorderSequenceAndRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	rec.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	rec.Record(Event{Type: EvSessionStart, Engine: "joda", Session: "tw/seed1", Queries: 3})
+	rec.Record(Event{Type: EvQueryExecute, Engine: "joda", Query: "q1", Duration: 120 * time.Millisecond, Matched: 7})
+	rec.Record(Event{Type: EvTimeout, Engine: "joda", Query: "q2", TimedOut: true})
+	rec.Record(Event{Type: EvSessionEnd, Engine: "joda", Session: "tw/seed1", Duration: 120 * time.Millisecond})
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d", i, e.Seq)
+		}
+		if i > 0 && !e.Time.After(events[i-1].Time) {
+			t.Errorf("event %d time %v not after %v", i, e.Time, events[i-1].Time)
+		}
+	}
+	if events[1].Duration != 120*time.Millisecond || events[1].Matched != 7 {
+		t.Errorf("query event lost fields: %+v", events[1])
+	}
+	if !events[2].TimedOut {
+		t.Errorf("timeout flag lost: %+v", events[2])
+	}
+
+	// Zero-valued fields must be omitted from the wire form.
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	for _, absent := range []string{"docs", "err", "dur_ns", "matched", "lang"} {
+		if strings.Contains(line, `"`+absent+`"`) {
+			t.Errorf("session_start line carries %q: %s", absent, line)
+		}
+	}
+}
+
+func TestRecorderConcurrentSequencing(t *testing.T) {
+	// Concurrent recorders must produce valid JSON lines with a gap-free
+	// sequence (run under -race).
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec.Record(Event{Type: EvQueryExecute, Query: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*perWorker {
+		t.Fatalf("got %d events", len(events))
+	}
+	seen := make(map[int64]bool, len(events))
+	for _, e := range events {
+		seen[e.Seq] = true
+	}
+	for s := int64(1); s <= int64(len(events)); s++ {
+		if !seen[s] {
+			t.Fatalf("sequence gap at %d", s)
+		}
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestRecorderStickyError(t *testing.T) {
+	rec := NewRecorder(&failAfter{n: 2})
+	for i := 0; i < 5; i++ {
+		rec.Record(Event{Type: EvImport})
+	}
+	err := rec.Err()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine.joda.queries").Add(9)
+	reg.Histogram("engine.joda.query").Observe(3 * time.Millisecond)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["engine.joda.queries"] != 9 {
+		t.Errorf("counter = %d", snap.Counters["engine.joda.queries"])
+	}
+	if snap.Histograms["engine.joda.query"].Count != 1 {
+		t.Errorf("histogram = %+v", snap.Histograms["engine.joda.query"])
+	}
+}
