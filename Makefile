@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race chaos check bench clean
 
 all: build
 
@@ -21,7 +21,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Fault-injection suite: every retry/breaker/crash-recovery/cancellation test
+# runs with the deterministic injector active, under the race detector.
+chaos:
+	$(GO) test -race -run 'Fault|Resilien|Recovery|Breaker|Retry|Skip|Cancel|Crash|MultiUser' \
+		./internal/faultsim/... ./internal/harness/... ./internal/engine/...
+
+check: vet race chaos
 
 # A quick laptop-scale pass over every experiment of the paper.
 bench:

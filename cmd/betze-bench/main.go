@@ -12,6 +12,13 @@
 //
 //	betze-bench -exp table2 -trace trace.jsonl -metrics-out metrics.json
 //	betze-bench -exp fig10 -format csv -export-dir results/
+//
+// Robustness: -faults injects deterministic transient errors, latency
+// spikes and engine crashes at the given rate (seeded by -fault-seed), and
+// -retries enables the resilient executor — retry with backoff, circuit
+// breaking and crash recovery.
+//
+//	betze-bench -exp resilience -faults 0.3 -fault-seed 7 -retries 3
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/joda-explore/betze/internal/faultsim"
 	"github.com/joda-explore/betze/internal/harness"
 	"github.com/joda-explore/betze/internal/obs"
 )
@@ -51,6 +59,9 @@ func run() error {
 	metricsPath := flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	format := flag.String("format", "text", "stdout rendering: text, csv or json")
 	exportDir := flag.String("export-dir", "", "also write each experiment's result as <id>.csv and <id>.json here")
+	faults := flag.Float64("faults", 0, "inject faults at this rate in [0,1] (transient errors, latency spikes, crashes)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (default: the base seed)")
+	retries := flag.Int("retries", 0, "retries per failed operation (0 disables the resilient executor's retry loop)")
 	flag.Parse()
 
 	var err error
@@ -59,6 +70,9 @@ func run() error {
 	}
 	if cfg.Threads, err = parseInts(*threads); err != nil {
 		return fmt.Errorf("-threads: %w", err)
+	}
+	if cfg.Faults, cfg.Retry, err = resilienceConfig(*faults, *faultSeed, cfg.Seed, *retries); err != nil {
+		return err
 	}
 	switch *format {
 	case "text", "csv", "json":
@@ -146,6 +160,32 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// resilienceConfig maps the -faults/-fault-seed/-retries flags onto the
+// harness options. The fault seed defaults to the base seed (123 when that
+// is unset too), so plain -faults runs are already reproducible.
+func resilienceConfig(rate float64, faultSeed, baseSeed int64, retries int) (faultsim.Options, harness.RetryPolicy, error) {
+	if rate < 0 || rate > 1 {
+		return faultsim.Options{}, harness.RetryPolicy{}, fmt.Errorf("-faults: rate %v outside [0,1]", rate)
+	}
+	if retries < 0 {
+		return faultsim.Options{}, harness.RetryPolicy{}, fmt.Errorf("-retries: negative count %d", retries)
+	}
+	if faultSeed == 0 {
+		faultSeed = baseSeed
+	}
+	if faultSeed == 0 {
+		faultSeed = 123
+	}
+	faults := faultsim.Uniform(rate, faultSeed)
+	var pol harness.RetryPolicy
+	if retries > 0 {
+		pol = harness.DefaultRetryPolicy()
+		pol.MaxAttempts = retries + 1
+		pol.Seed = faultSeed
+	}
+	return faults, pol, nil
 }
 
 // exportResult writes one experiment's machine-readable forms.

@@ -13,6 +13,7 @@
 //	               [-weighted-paths] [-verify data.json] [-langs joda,jq,...]
 //	betze run      -session sessiondir/session.json -data data.json
 //	               [-systems joda,mongodb,postgres,jq] [-timeout 10m]
+//	               [-faults 0.3] [-fault-seed 7] [-retries 3]
 package main
 
 import (
@@ -33,6 +34,8 @@ import (
 	"github.com/joda-explore/betze/internal/engine/jqsim"
 	"github.com/joda-explore/betze/internal/engine/mongosim"
 	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/harness"
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/langs"
 	_ "github.com/joda-explore/betze/internal/langs/all"
@@ -293,11 +296,27 @@ func cmdRun(args []string, out io.Writer) error {
 	threads := fs.Int("threads", 0, "JODA worker threads (0 = all CPUs)")
 	tracePath := fs.String("trace", "", "write per-query trace events (JSON lines) to this file")
 	metricsPath := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
+	faultRate := fs.Float64("faults", 0, "inject faults at this rate in [0,1] (transient errors, latency spikes, crashes)")
+	faultSeed := fs.Int64("fault-seed", 123, "fault-schedule seed: the same seed injects the same faults")
+	retries := fs.Int("retries", 0, "retries per failed operation (0 disables the retry loop)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sessionPath == "" || *data == "" {
 		return fmt.Errorf("run: -session and -data are required")
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		return fmt.Errorf("run: -faults rate %v outside [0,1]", *faultRate)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("run: -retries negative count %d", *retries)
+	}
+	faults := faultsim.Uniform(*faultRate, *faultSeed)
+	var pol harness.RetryPolicy
+	if *retries > 0 {
+		pol = harness.DefaultRetryPolicy()
+		pol.MaxAttempts = *retries + 1
+		pol.Seed = *faultSeed
 	}
 	file, err := core.ReadSessionFile(*sessionPath)
 	if err != nil {
@@ -332,7 +351,10 @@ func cmdRun(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := benchmarkEngine(out, sc, eng, datasets, file.Queries, *timeout); err != nil {
+		if faults.Enabled() {
+			eng = faultsim.Wrap(eng, faults)
+		}
+		if err := benchmarkEngine(out, sc, eng, datasets, file.Queries, *timeout, pol); err != nil {
 			eng.Close()
 			return err
 		}
@@ -434,13 +456,15 @@ func makeEngine(name string, threads int) (engine.Engine, error) {
 	}
 }
 
-func benchmarkEngine(out io.Writer, sc obs.Scope, eng engine.Engine, datasets map[string]string, queries []*query.Query, timeout time.Duration) error {
+func benchmarkEngine(out io.Writer, sc obs.Scope, eng engine.Engine, datasets map[string]string, queries []*query.Query, timeout time.Duration, pol harness.RetryPolicy) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	ctx = obs.With(ctx, sc)
 	var importTotal time.Duration
+	importRetries := 0
 	for base, data := range datasets {
-		imp, err := eng.ImportFile(ctx, base, data)
+		imp, retries, err := harness.RunImport(ctx, eng, base, data, pol)
+		importRetries += retries
 		if err != nil {
 			if ctx.Err() != nil {
 				sc.Record(obs.Event{Type: obs.EvTimeout, Engine: eng.Name(), Dataset: base, TimedOut: true})
@@ -452,22 +476,24 @@ func benchmarkEngine(out io.Writer, sc obs.Scope, eng engine.Engine, datasets ma
 		importTotal += imp.Duration
 		fmt.Fprintf(out, "%-22s import %s: %8s (%d docs)\n", eng.Name(), base, imp.Duration.Round(time.Millisecond), imp.Docs)
 	}
+	outcomes, rs := harness.RunQueries(ctx, eng, queries, pol, io.Discard, "run")
 	var total time.Duration
-	for _, q := range queries {
-		stats, err := eng.Execute(ctx, q, io.Discard)
-		if ctx.Err() != nil {
-			sc.Record(obs.Event{Type: obs.EvTimeout, Engine: eng.Name(), Query: q.ID, TimedOut: true})
-			sc.Counter("run.timeouts").Inc()
-			fmt.Fprintf(out, "%-22s timed out after %v\n", eng.Name(), timeout)
-			return nil
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(out, "%-22s %6s: skipped after %d attempts: %v\n", eng.Name(), o.Query.ID, o.Attempts, o.Err)
+			continue
 		}
-		if err != nil {
-			return fmt.Errorf("%s executing %s: %w", eng.Name(), q.ID, err)
-		}
-		total += stats.Duration
-		fmt.Fprintf(out, "%-22s %6s: %10s  (%d matched)\n", eng.Name(), q.ID, stats.Duration.Round(time.Microsecond), stats.Matched)
+		total += o.Stats.Duration
+		fmt.Fprintf(out, "%-22s %6s: %10s  (%d matched)\n", eng.Name(), o.Query.ID, o.Stats.Duration.Round(time.Microsecond), o.Stats.Matched)
+	}
+	if rs.TimedOut {
+		fmt.Fprintf(out, "%-22s timed out after %v\n", eng.Name(), timeout)
 	}
 	fmt.Fprintf(out, "%-22s total w/o import: %s, wall: %s\n", eng.Name(),
 		total.Round(time.Millisecond), (total + importTotal).Round(time.Millisecond))
+	if r := importRetries + rs.Retries; r > 0 || rs.Skipped > 0 || rs.Recovered > 0 {
+		fmt.Fprintf(out, "%-22s resilience: %d retried, %d skipped, %d recovered\n",
+			eng.Name(), r, rs.Skipped, rs.Recovered)
+	}
 	return nil
 }

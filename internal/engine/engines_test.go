@@ -3,6 +3,7 @@ package engine_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -254,6 +255,10 @@ func TestEnginesUnknownDataset(t *testing.T) {
 		_, err := e.Execute(context.Background(), &query.Query{Base: "ghost"}, io.Discard)
 		if err == nil {
 			t.Errorf("%s accepted unknown dataset", e.Name())
+		} else if !errors.Is(err, engine.ErrUnknownDataset) {
+			// The resilient executor classifies errors with errors.Is, so a
+			// sim returning an unwrapped error breaks crash detection.
+			t.Errorf("%s unknown-dataset error not wrapped: %v", e.Name(), err)
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// cancelAfterWriter cancels a context after the first result document is
+// written, so the engine is guaranteed to observe a dead context mid-scan.
+type cancelAfterWriter struct {
+	cancel context.CancelFunc
+	writes int
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes == 1 {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+// TestEnginesCancelMidScan cancels the context after the first returned
+// document: every sim must stop scanning and propagate the cancellation
+// instead of finishing the full pass.
+func TestEnginesCancelMidScan(t *testing.T) {
+	// Well over the engines' cancellation-check stride, so an engine that
+	// ignores the context would visibly scan on.
+	docs := corpus(6000, 60)
+	engines := allEngines(t, "ds", docs)
+	for _, e := range engines {
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &cancelAfterWriter{cancel: cancel}
+		_, err := e.Execute(ctx, &query.Query{ID: "q1", Base: "ds"}, sink)
+		cancel()
+		if err == nil {
+			t.Errorf("%s completed a scan under a cancelled context", e.Name())
+			continue
+		}
+		// Parallel engines may still tally in-flight partitions, so only
+		// the error contract is asserted, not a scan-count bound.
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s returned %v, want context.Canceled", e.Name(), err)
+		}
+	}
+}
+
+// TestEnginesCancelDuringInjectedLatency uses faultsim's latency injection
+// to pin every sim inside a spike far longer than the deadline: the wrapped
+// engine must surface the deadline promptly, for all four sims.
+func TestEnginesCancelDuringInjectedLatency(t *testing.T) {
+	docs := corpus(50, 61)
+	for _, inner := range allEngines(t, "ds", docs) {
+		e := faultsim.Wrap(inner, faultsim.Options{Seed: 1, LatencyRate: 1, Latency: time.Minute})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		start := time.Now()
+		_, err := e.Execute(ctx, &query.Query{ID: "q1", Base: "ds"}, io.Discard)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s returned %v, want context.DeadlineExceeded", inner.Name(), err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("%s sat out the full latency spike (%v)", inner.Name(), elapsed)
+		}
+	}
+}
+
+// TestEnginesUnknownDatasetTable is the table-driven error-contract check:
+// a fresh engine with nothing imported and an engine with data imported
+// must both wrap engine.ErrUnknownDataset for a ghost dataset, with the
+// store-query variant included.
+func TestEnginesUnknownDatasetTable(t *testing.T) {
+	engines := allEngines(t, "ds", corpus(20, 62))
+	cases := []struct {
+		label string
+		q     *query.Query
+	}{
+		{"plain read", &query.Query{ID: "q1", Base: "ghost"}},
+		{"store from ghost", &query.Query{ID: "q2", Base: "ghost", Store: "out"}},
+	}
+	for _, e := range engines {
+		for _, c := range cases {
+			_, err := e.Execute(context.Background(), c.q, io.Discard)
+			if !errors.Is(err, engine.ErrUnknownDataset) {
+				t.Errorf("%s %s: error %v does not wrap ErrUnknownDataset", e.Name(), c.label, err)
+			}
+		}
+	}
+}

@@ -31,6 +31,9 @@ import (
 // Engine implements engine.Engine.
 type Engine struct {
 	workdir string
+	// ownsDir marks a workdir the engine created itself and removes
+	// wholesale on Close.
+	ownsDir bool
 
 	mu      sync.Mutex
 	files   map[string]string // dataset name -> file path
@@ -38,20 +41,40 @@ type Engine struct {
 }
 
 // New returns an engine materialising derived datasets under workdir; an
-// empty workdir uses a fresh temporary directory.
+// empty workdir uses a fresh temporary directory removed on Close. Two
+// engines must not share a workdir — their derived datasets would collide
+// on file names; give each its own directory (see NewTempIn).
 func New(workdir string) (*Engine, error) {
+	e := &Engine{
+		workdir: workdir,
+		files:   make(map[string]string),
+		derived: make(map[string]bool),
+	}
 	if workdir == "" {
 		dir, err := os.MkdirTemp("", "jqsim-*")
 		if err != nil {
 			return nil, fmt.Errorf("jqsim: %w", err)
 		}
-		workdir = dir
+		e.workdir = dir
+		e.ownsDir = true
 	}
-	return &Engine{
-		workdir: workdir,
-		files:   make(map[string]string),
-		derived: make(map[string]bool),
-	}, nil
+	return e, nil
+}
+
+// NewTempIn returns an engine whose workdir is a fresh subdirectory of
+// parent, removed on Close — the per-session isolation the harness uses so
+// consecutive or concurrent sessions cannot collide on store-file names.
+func NewTempIn(parent string) (*Engine, error) {
+	dir, err := os.MkdirTemp(parent, "jqsim-*")
+	if err != nil {
+		return nil, fmt.Errorf("jqsim: %w", err)
+	}
+	e, err := New(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.ownsDir = true
+	return e, nil
 }
 
 // Name implements engine.Engine.
@@ -410,11 +433,17 @@ func (e *Engine) Reset() error {
 	return nil
 }
 
-// Close implements engine.Engine.
+// Close implements engine.Engine. An owned workdir (New("") or NewTempIn)
+// is removed entirely.
 func (e *Engine) Close() error {
 	err := e.Reset()
 	e.mu.Lock()
 	e.files = nil
 	e.mu.Unlock()
+	if e.ownsDir {
+		if rmErr := os.RemoveAll(e.workdir); err == nil {
+			err = rmErr
+		}
+	}
 	return err
 }

@@ -1,0 +1,244 @@
+// Package faultsim is a deterministic, seeded fault injector for engines: it
+// wraps any engine.Engine and injects transient query errors, import
+// failures, latency spikes, and engine "crashes" that drop derived (stored)
+// datasets. Every injection decision is a pure hash of (seed, operation kind,
+// operation key, attempt number), so the same seed yields the same fault
+// schedule regardless of wall clock, goroutine interleaving, or whether the
+// caller retries — failures become reproducible test fixtures instead of
+// flakes. The paper's evaluation is full of exactly these partial failures
+// (PostgreSQL cannot import Reddit, jq times out on large sweeps); faultsim
+// lets the harness rehearse them on demand.
+package faultsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/obs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// ErrInjected marks a transient injected failure: the operation would have
+// succeeded, and a retry (with a fresh attempt number) may succeed.
+var ErrInjected = errors.New("faultsim: injected transient fault")
+
+// ErrCrash marks an injected engine crash. The wrapped engine's derived
+// (stored) datasets are dropped before the error is returned, exactly like a
+// process restart that loses non-persistent state; callers must replay the
+// stored-dataset lineage to continue the session.
+var ErrCrash = errors.New("faultsim: injected engine crash")
+
+// IsTransient reports whether err is (or wraps) an injected transient fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
+
+// IsCrash reports whether err is (or wraps) an injected engine crash.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrash) }
+
+// Fault kinds, used in schedules, trace events and metric names.
+const (
+	KindQueryError  = "query_error"
+	KindImportError = "import_error"
+	KindLatency     = "latency"
+	KindCrash       = "crash"
+)
+
+// Options configures the injector. All rates are probabilities in [0, 1]
+// evaluated independently per operation attempt.
+type Options struct {
+	// Seed fixes the fault schedule; the same seed injects the same
+	// faults at the same operations and attempts.
+	Seed int64
+	// QueryErrorRate injects transient Execute errors.
+	QueryErrorRate float64
+	// ImportErrorRate injects transient ImportFile errors.
+	ImportErrorRate float64
+	// LatencyRate injects latency spikes: Execute sleeps for Latency
+	// (honouring the context) before running normally.
+	LatencyRate float64
+	// Latency is the spike duration (default 2ms).
+	Latency time.Duration
+	// CrashRate injects engine crashes: derived datasets are dropped and
+	// Execute fails with ErrCrash.
+	CrashRate float64
+	// MaxFaultsPerOp bounds how many attempts of one operation can fault
+	// (default 2). Attempts beyond the bound never fault, so an executor
+	// retrying more than MaxFaultsPerOp times is guaranteed to get
+	// through — the property the resilience experiments rely on.
+	MaxFaultsPerOp int
+}
+
+// Enabled reports whether any fault kind can fire.
+func (o Options) Enabled() bool {
+	return o.QueryErrorRate > 0 || o.ImportErrorRate > 0 || o.LatencyRate > 0 || o.CrashRate > 0
+}
+
+func (o Options) withDefaults() Options {
+	if o.Latency <= 0 {
+		o.Latency = 2 * time.Millisecond
+	}
+	if o.MaxFaultsPerOp <= 0 {
+		o.MaxFaultsPerOp = 2
+	}
+	return o
+}
+
+// Uniform builds the single-knob fault profile behind the CLIs' -faults
+// flag: transient query errors at rate, import errors and latency spikes at
+// half of it, crashes at a fifth.
+func Uniform(rate float64, seed int64) Options {
+	if rate <= 0 {
+		return Options{Seed: seed}
+	}
+	return Options{
+		Seed:            seed,
+		QueryErrorRate:  rate,
+		ImportErrorRate: rate / 2,
+		LatencyRate:     rate / 2,
+		CrashRate:       rate / 5,
+	}
+}
+
+// Fault is one entry of the injected-fault schedule.
+type Fault struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// Op identifies the operation ("import:<dataset>" or "exec:<query>").
+	Op string
+	// Attempt is the zero-based attempt number of the operation when the
+	// fault fired.
+	Attempt int
+}
+
+// Engine wraps an inner engine with fault injection. It is safe for
+// concurrent use (the multi-user harness shares one engine across
+// goroutines); the schedule records faults in injection order.
+type Engine struct {
+	inner engine.Engine
+	opts  Options
+
+	mu       sync.Mutex
+	attempts map[string]int
+	schedule []Fault
+}
+
+// Wrap returns inner with fault injection according to opts.
+func Wrap(inner engine.Engine, opts Options) *Engine {
+	return &Engine{
+		inner:    inner,
+		opts:     opts.withDefaults(),
+		attempts: make(map[string]int),
+	}
+}
+
+// Inner returns the wrapped engine.
+func (e *Engine) Inner() engine.Engine { return e.inner }
+
+// Schedule returns a copy of the injected faults so far, in order.
+func (e *Engine) Schedule() []Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Fault(nil), e.schedule...)
+}
+
+// nextAttempt hands out the zero-based attempt number for an operation key.
+func (e *Engine) nextAttempt(op string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.attempts[op]
+	e.attempts[op] = n + 1
+	return n
+}
+
+// decide is the pure injection decision: a hash of (seed, kind, op, attempt)
+// mapped to [0, 1) and compared against the rate. Attempts at or beyond
+// MaxFaultsPerOp never fault.
+func (e *Engine) decide(kind, op string, attempt int, rate float64) bool {
+	if rate <= 0 || attempt >= e.opts.MaxFaultsPerOp {
+		return false
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(e.opts.Seed))
+	h.Write(buf[:])
+	io.WriteString(h, kind)
+	io.WriteString(h, op)
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	// 53 mantissa bits give a uniform float in [0, 1).
+	return float64(h.Sum64()>>11)/float64(1<<53) < rate
+}
+
+// inject records the fault in the schedule and the observability scope.
+func (e *Engine) inject(ctx context.Context, kind, op string, attempt int, dataset, queryID string) {
+	e.mu.Lock()
+	e.schedule = append(e.schedule, Fault{Kind: kind, Op: op, Attempt: attempt})
+	e.mu.Unlock()
+	sc := obs.From(ctx)
+	if !sc.Enabled() {
+		return
+	}
+	sc.Counter("faultsim." + kind).Inc()
+	sc.Record(obs.Event{
+		Type: obs.EvFault, Engine: e.inner.Name(), Dataset: dataset,
+		Query: queryID, Kind: kind, Attempt: attempt,
+	})
+}
+
+// Name implements engine.Engine; the injector is transparent in labels.
+func (e *Engine) Name() string { return e.inner.Name() }
+
+// ImportFile implements engine.Engine with import-failure injection.
+func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	op := "import:" + name
+	attempt := e.nextAttempt(op)
+	if e.decide(KindImportError, op, attempt, e.opts.ImportErrorRate) {
+		e.inject(ctx, KindImportError, op, attempt, name, "")
+		return engine.ImportStats{}, fmt.Errorf("importing %q (attempt %d): %w", name, attempt, ErrInjected)
+	}
+	return e.inner.ImportFile(ctx, name, path)
+}
+
+// Execute implements engine.Engine with latency, crash and transient-error
+// injection. A latency spike delays but does not fail the query (unless the
+// context expires during the spike); a crash drops the inner engine's
+// derived datasets via Reset before failing.
+func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	op := "exec:" + q.ID
+	attempt := e.nextAttempt(op)
+	if e.decide(KindLatency, op, attempt, e.opts.LatencyRate) {
+		e.inject(ctx, KindLatency, op, attempt, q.Base, q.ID)
+		t := time.NewTimer(e.opts.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return engine.ExecStats{}, ctx.Err()
+		}
+	}
+	if e.decide(KindCrash, op, attempt, e.opts.CrashRate) {
+		e.inject(ctx, KindCrash, op, attempt, q.Base, q.ID)
+		if err := e.inner.Reset(); err != nil {
+			return engine.ExecStats{}, fmt.Errorf("crash during %s: reset: %w (%w)", q.ID, err, ErrCrash)
+		}
+		return engine.ExecStats{}, fmt.Errorf("crash during %s (attempt %d): %w", q.ID, attempt, ErrCrash)
+	}
+	if e.decide(KindQueryError, op, attempt, e.opts.QueryErrorRate) {
+		e.inject(ctx, KindQueryError, op, attempt, q.Base, q.ID)
+		return engine.ExecStats{}, fmt.Errorf("executing %s (attempt %d): %w", q.ID, attempt, ErrInjected)
+	}
+	return e.inner.Execute(ctx, q, sink)
+}
+
+// Reset implements engine.Engine. The attempt counters survive: determinism
+// is keyed by operation, not by engine lifecycle.
+func (e *Engine) Reset() error { return e.inner.Reset() }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return e.inner.Close() }

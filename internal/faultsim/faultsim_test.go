@@ -1,0 +1,242 @@
+package faultsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/obs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// stubEngine succeeds at everything and counts calls, so every observed
+// failure is an injected one.
+type stubEngine struct {
+	imports, execs, resets int
+}
+
+func (s *stubEngine) Name() string { return "stub" }
+
+func (s *stubEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	s.imports++
+	return engine.ImportStats{Docs: 1}, nil
+}
+
+func (s *stubEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	s.execs++
+	return engine.ExecStats{Duration: time.Millisecond, Scanned: 1}, nil
+}
+
+func (s *stubEngine) Reset() error { s.resets++; return nil }
+func (s *stubEngine) Close() error { return nil }
+
+func testQueries(n int) []*query.Query {
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		qs[i] = &query.Query{ID: fmt.Sprintf("q%d", i+1), Base: "ds"}
+	}
+	return qs
+}
+
+// driveUntilDone executes every query against the injector, retrying each
+// until it succeeds (the bounded-fault guarantee makes this terminate), and
+// returns the per-query attempt counts.
+func driveUntilDone(t *testing.T, e *Engine, qs []*query.Query) []int {
+	t.Helper()
+	ctx := context.Background()
+	attempts := make([]int, len(qs))
+	for i, q := range qs {
+		for {
+			attempts[i]++
+			if attempts[i] > 100 {
+				t.Fatalf("%s still failing after 100 attempts", q.ID)
+			}
+			if _, err := e.Execute(ctx, q, io.Discard); err == nil {
+				break
+			}
+		}
+	}
+	return attempts
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	opts := Options{Seed: 42, QueryErrorRate: 0.5, LatencyRate: 0.3, CrashRate: 0.2, Latency: time.Microsecond}
+	run := func() []Fault {
+		e := Wrap(&stubEngine{}, opts)
+		driveUntilDone(t, e, testQueries(20))
+		return e.Schedule()
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("no faults injected at 50% query-error rate over 20 queries")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", first, second)
+	}
+	other := Wrap(&stubEngine{}, Options{Seed: 43, QueryErrorRate: 0.5, LatencyRate: 0.3, CrashRate: 0.2, Latency: time.Microsecond})
+	driveUntilDone(t, other, testQueries(20))
+	if reflect.DeepEqual(first, other.Schedule()) {
+		t.Errorf("different seeds produced identical schedules: %v", first)
+	}
+}
+
+// TestScheduleDeterminismInTrace is the acceptance check: two runs with the
+// same fault seed emit identical fault events on the trace (modulo sequence
+// numbers and timestamps).
+func TestScheduleDeterminismInTrace(t *testing.T) {
+	opts := Options{Seed: 7, QueryErrorRate: 0.6, CrashRate: 0.1}
+	type faultKey struct {
+		Engine, Dataset, Query, Kind string
+		Attempt                      int
+	}
+	run := func() []faultKey {
+		var buf bytes.Buffer
+		sc := obs.Scope{Metrics: obs.NewRegistry(), Trace: obs.NewRecorder(&buf)}
+		ctx := obs.With(context.Background(), sc)
+		e := Wrap(&stubEngine{}, opts)
+		for _, q := range testQueries(15) {
+			for a := 0; a < 5; a++ {
+				if _, err := e.Execute(ctx, q, io.Discard); err == nil {
+					break
+				}
+			}
+		}
+		events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []faultKey
+		for _, ev := range events {
+			if ev.Type != obs.EvFault {
+				continue
+			}
+			keys = append(keys, faultKey{ev.Engine, ev.Dataset, ev.Query, ev.Kind, ev.Attempt})
+		}
+		return keys
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("no fault events on the trace")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same fault seed, different trace schedules:\n%v\n%v", first, second)
+	}
+}
+
+func TestMaxFaultsPerOpBoundsInjection(t *testing.T) {
+	stub := &stubEngine{}
+	e := Wrap(stub, Options{Seed: 1, QueryErrorRate: 1, MaxFaultsPerOp: 2})
+	attempts := driveUntilDone(t, e, testQueries(5))
+	for i, n := range attempts {
+		if n != 3 { // two injected failures, then guaranteed success
+			t.Errorf("q%d took %d attempts, want 3", i+1, n)
+		}
+	}
+	if stub.execs != 5 {
+		t.Errorf("inner engine executed %d times, want 5 (faults must not reach it)", stub.execs)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	e := Wrap(&stubEngine{}, Options{Seed: 1, QueryErrorRate: 1})
+	_, err := e.Execute(context.Background(), &query.Query{ID: "q1", Base: "ds"}, io.Discard)
+	if !IsTransient(err) {
+		t.Errorf("query-error injection not transient: %v", err)
+	}
+	if IsCrash(err) {
+		t.Errorf("query-error injection classified as crash: %v", err)
+	}
+
+	stub := &stubEngine{}
+	c := Wrap(stub, Options{Seed: 1, CrashRate: 1})
+	_, err = c.Execute(context.Background(), &query.Query{ID: "q1", Base: "ds"}, io.Discard)
+	if !IsCrash(err) {
+		t.Errorf("crash injection not a crash: %v", err)
+	}
+	if stub.resets != 1 {
+		t.Errorf("crash did not reset the inner engine (resets=%d)", stub.resets)
+	}
+
+	i := Wrap(&stubEngine{}, Options{Seed: 1, ImportErrorRate: 1})
+	_, err = i.ImportFile(context.Background(), "ds", "nowhere.json")
+	if !IsTransient(err) {
+		t.Errorf("import-error injection not transient: %v", err)
+	}
+	if IsTransient(errors.New("other")) || IsCrash(nil) {
+		t.Error("classification matches unrelated errors")
+	}
+}
+
+func TestLatencyHonoursContext(t *testing.T) {
+	e := Wrap(&stubEngine{}, Options{Seed: 1, LatencyRate: 1, Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Execute(ctx, &query.Query{ID: "q1", Base: "ds"}, io.Discard)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("latency spike under cancelled context returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("latency spike ignored the context for %v", elapsed)
+	}
+}
+
+func TestLatencyDelaysButSucceeds(t *testing.T) {
+	stub := &stubEngine{}
+	e := Wrap(stub, Options{Seed: 1, LatencyRate: 1, Latency: time.Millisecond})
+	if _, err := e.Execute(context.Background(), &query.Query{ID: "q1", Base: "ds"}, io.Discard); err != nil {
+		t.Fatalf("latency-only injection failed the query: %v", err)
+	}
+	if stub.execs != 1 {
+		t.Errorf("query did not reach the inner engine")
+	}
+	sched := e.Schedule()
+	if len(sched) != 1 || sched[0].Kind != KindLatency {
+		t.Errorf("schedule = %v, want one latency fault", sched)
+	}
+}
+
+func TestUniformAndEnabled(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Error("zero options enabled")
+	}
+	if Uniform(0, 9).Enabled() {
+		t.Error("zero-rate uniform profile enabled")
+	}
+	u := Uniform(0.5, 9)
+	if !u.Enabled() || u.Seed != 9 {
+		t.Errorf("uniform profile: %+v", u)
+	}
+	if u.QueryErrorRate != 0.5 || u.ImportErrorRate != 0.25 || u.LatencyRate != 0.25 || u.CrashRate != 0.1 {
+		t.Errorf("uniform rates: %+v", u)
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	stub := &stubEngine{}
+	e := Wrap(stub, Options{Seed: 1})
+	if e.Name() != "stub" || e.Inner() != engine.Engine(stub) {
+		t.Errorf("wrapper identity: name=%q", e.Name())
+	}
+	if _, err := e.ImportFile(context.Background(), "ds", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(context.Background(), &query.Query{ID: "q1", Base: "ds"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(); err != nil || stub.resets != 1 {
+		t.Errorf("reset pass-through: %v / %d", err, stub.resets)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("close pass-through: %v", err)
+	}
+	if len(e.Schedule()) != 0 {
+		t.Errorf("disabled injector recorded faults: %v", e.Schedule())
+	}
+}

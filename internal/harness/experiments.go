@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/faultsim"
 	"github.com/joda-explore/betze/internal/jsonval"
 )
 
@@ -36,6 +37,7 @@ func Experiments() []Experiment {
 		{ID: "gencost", Title: "Sec. VI-A: generation cost split (analysis vs generation)", Run: GenCost},
 		{ID: "skew", Title: "Sec. VI-C: attribute reference skew", Run: Skew},
 		{ID: "multiuser", Title: "Sec. III (beyond the paper): concurrent sessions on one JODA instance", Run: MultiUser},
+		{ID: "resilience", Title: "Beyond the paper: queries completed vs injected fault rate, retries on vs off", Run: Resilience},
 	}
 }
 
@@ -543,5 +545,52 @@ func Skew(e *Env) (*Result, error) {
 		Header: []string{"attribute", "references"},
 		Rows:   topRows,
 	})
+	return res, nil
+}
+
+// Resilience runs one Twitter session (seed 123, JODA) under increasing
+// injected fault rates, with and without the retrying executor, and reports
+// queries completed, retries, skips, and crash recoveries. The injection is
+// deterministic per fault seed, so the row for a given rate is a fixture:
+// whatever the no-retry run drops, the retrying run completes.
+func Resilience(e *Env) (*Result, error) {
+	ds, err := e.Twitter()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := ds.generate(core.Options{Seed: 123})
+	if err != nil {
+		return nil, fmt.Errorf("resilience: %w", err)
+	}
+	rates := []float64{0, 0.2, 0.5}
+	policies := []struct {
+		label string
+		pol   RetryPolicy
+	}{
+		{"off", RetryPolicy{}},
+		{"on", DefaultRetryPolicy()},
+	}
+	var rows [][]string
+	for _, rate := range rates {
+		for _, pc := range policies {
+			faults := faultsim.Uniform(rate, e.Cfg.Seed)
+			res := e.runSessionWith(jodaSpec(0), ds, sess, faults, pc.pol)
+			completed := fmt.Sprintf("%d/%d", len(res.QueryTimes), len(sess.Queries))
+			if res.ImportErr != nil {
+				completed = "load failed"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f%%", rate*100),
+				pc.label,
+				completed,
+				fmt.Sprintf("%d", res.Retries),
+				fmt.Sprintf("%d", res.Skipped),
+				fmt.Sprintf("%d", res.Recovered),
+			})
+		}
+	}
+	res := tableResult("resilience",
+		[]string{"fault rate", "retries", "completed", "retried", "skipped", "recovered"}, rows)
+	res.note("(one Twitter session, seed 123, on JODA; faults injected deterministically from the base seed)")
 	return res, nil
 }

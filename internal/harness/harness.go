@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/joda-explore/betze/internal/analyze"
@@ -22,6 +23,7 @@ import (
 	"github.com/joda-explore/betze/internal/engine/jqsim"
 	"github.com/joda-explore/betze/internal/engine/mongosim"
 	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/faultsim"
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/obs"
@@ -63,6 +65,13 @@ type Config struct {
 	// query trace events plus engine metrics. The zero scope discards
 	// everything.
 	Obs obs.Scope
+	// Faults configures deterministic fault injection: when enabled,
+	// every session engine is wrapped with a faultsim injector sharing
+	// these options (off by default).
+	Faults faultsim.Options
+	// Retry configures the resilient executor. The zero value executes
+	// every operation exactly once with no breaker.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -85,15 +94,7 @@ func (c Config) withDefaults() Config {
 		c.GridSessions = 3
 	}
 	if len(c.Threads) == 0 {
-		// Sweep to at least 4 workers so the table has shape even on
-		// small machines; real speedup of course needs real cores.
-		limit := max(4, runtime.NumCPU())
-		for t := 1; t <= limit; t *= 2 {
-			c.Threads = append(c.Threads, t)
-		}
-		if last := c.Threads[len(c.Threads)-1]; last != runtime.NumCPU() && runtime.NumCPU() > limit {
-			c.Threads = append(c.Threads, runtime.NumCPU())
-		}
+		c.Threads = defaultThreadSweep(runtime.NumCPU())
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
@@ -102,6 +103,27 @@ func (c Config) withDefaults() Config {
 		c.Seed = 123 // the paper's favourite seed
 	}
 	return c
+}
+
+// defaultThreadSweep builds the Fig. 9 thread counts for an ncpu-core
+// machine: powers of two from 1 to at least 4 (so the table has shape even
+// on small machines), always including ncpu itself — on a 6- or 12-core box
+// the doubling skips the full-machine data point otherwise.
+func defaultThreadSweep(ncpu int) []int {
+	limit := max(4, ncpu)
+	var threads []int
+	seen := false
+	for t := 1; t <= limit; t *= 2 {
+		threads = append(threads, t)
+		if t == ncpu {
+			seen = true
+		}
+	}
+	if !seen && ncpu >= 1 {
+		threads = append(threads, ncpu)
+		sort.Ints(threads)
+	}
+	return threads
 }
 
 // Env prepares and caches datasets, their analysis summaries, and the
@@ -276,7 +298,9 @@ func pgSpec() engineSpec {
 
 func jqSpec() engineSpec {
 	return engineSpec{name: "jq", make: func(dir string) (engine.Engine, error) {
-		return jqsim.New(dir)
+		// A per-engine temp subdirectory, not the shared dir: store files
+		// from consecutive or concurrent sessions must not collide.
+		return jqsim.NewTempIn(dir)
 	}}
 }
 
@@ -299,21 +323,41 @@ type SessionResult struct {
 	TimedOut bool
 	// ImportErr reports a failed import (PostgreSQL on Reddit).
 	ImportErr error
-	// Err reports an execution failure other than the timeout.
+	// Err reports the first execution failure other than the timeout;
+	// with the resilient executor, later queries still ran (see Skipped).
 	Err error
+	// Retries counts re-attempted operations (imports and queries).
+	Retries int
+	// Skipped counts queries recorded as failed and passed over instead
+	// of aborting the session.
+	Skipped int
+	// Recovered counts crash recoveries that replayed the stored-dataset
+	// lineage mid-session.
+	Recovered int
 }
 
 // runSession imports the dataset into a fresh engine and executes every
-// query of the session, honouring the configured timeout. The configured
+// query of the session through the resilient executor, honouring the
+// configured timeout, fault injection, and retry policy. The configured
 // observability scope receives session_start/session_end bracketing events
-// (plus a timeout event when the deadline trips); the engines themselves
-// emit the per-import and per-query events through the context.
+// (plus timeout/retry/skip/breaker/recovery events as they occur); the
+// engines themselves emit the per-import and per-query events through the
+// context.
 func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) SessionResult {
+	return e.runSessionWith(spec, ds, s, e.Cfg.Faults, e.Cfg.Retry)
+}
+
+// runSessionWith is runSession with explicit fault and retry options, so
+// the resilience experiment can sweep them against one Env.
+func (e *Env) runSessionWith(spec engineSpec, ds *datasetEnv, s *core.Session, faults faultsim.Options, retry RetryPolicy) SessionResult {
 	res := SessionResult{Engine: spec.name}
 	eng, err := spec.make(e.dir)
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if faults.Enabled() {
+		eng = faultsim.Wrap(eng, faults)
 	}
 	defer eng.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
@@ -338,7 +382,8 @@ func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) Sessi
 		sc.Counter("harness.sessions").Inc()
 	}()
 
-	imp, err := eng.ImportFile(ctx, ds.name, ds.file)
+	imp, retries, err := RunImport(ctx, eng, ds.name, ds.file, retry)
+	res.Retries += retries
 	if err != nil {
 		if ctx.Err() != nil {
 			res.TimedOut = true
@@ -352,24 +397,18 @@ func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) Sessi
 		return res
 	}
 	res.Import = imp
-	for _, q := range s.Queries {
-		stats, err := eng.Execute(ctx, q, io.Discard)
-		if ctx.Err() != nil {
-			res.TimedOut = true
-			sc.Record(obs.Event{
-				Type: obs.EvTimeout, Engine: engName, Dataset: ds.name,
-				Session: label, Query: q.ID, Duration: e.Cfg.Timeout,
-			})
-			sc.Counter("harness.timeouts").Inc()
-			break
+	outcomes, rs := RunQueries(ctx, eng, s.Queries, retry, io.Discard, label)
+	for _, o := range outcomes {
+		if o.Err == nil {
+			res.QueryTimes = append(res.QueryTimes, o.Stats.Duration)
+			res.Total += o.Stats.Duration
 		}
-		if err != nil {
-			res.Err = fmt.Errorf("%s on %s: %w", q.ID, spec.name, err)
-			break
-		}
-		res.QueryTimes = append(res.QueryTimes, stats.Duration)
-		res.Total += stats.Duration
 	}
+	res.TimedOut = rs.TimedOut
+	res.Err = rs.FirstErr // already labelled "<query> on <engine>"
+	res.Retries += rs.Retries
+	res.Skipped = rs.Skipped
+	res.Recovered = rs.Recovered
 	res.Wall = res.Total + imp.Duration
 	return res
 }

@@ -71,8 +71,8 @@ func TestBoxStats(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, exp := range exps {
@@ -111,8 +111,9 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"gencost": {
 			"dataset analysis time", "query generation time",
 		},
-		"skew":      {"top-10", "top-20", "references"},
-		"multiuser": {"concurrent users", "queries/s", "8"},
+		"skew":       {"top-10", "top-20", "references"},
+		"multiuser":  {"concurrent users", "queries/s", "8"},
+		"resilience": {"fault rate", "retried", "recovered", "0%", "50%"},
 	}
 	for _, exp := range Experiments() {
 		res, err := exp.Run(env)
@@ -182,6 +183,38 @@ func TestConfigDefaults(t *testing.T) {
 	c2 := Config{TwitterDocs: 5, Sessions: 1, Seed: 9}.withDefaults()
 	if c2.TwitterDocs != 5 || c2.Sessions != 1 || c2.Seed != 9 {
 		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+// TestDefaultThreadSweep covers the Fig. 9 sweep construction, including the
+// non-power-of-two machines whose core count the doubling used to skip.
+func TestDefaultThreadSweep(t *testing.T) {
+	cases := []struct {
+		ncpu int
+		want []int
+	}{
+		{1, []int{1, 2, 4}},
+		{2, []int{1, 2, 4}},
+		{3, []int{1, 2, 3, 4}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{12, []int{1, 2, 4, 8, 12}},
+		{60, []int{1, 2, 4, 8, 16, 32, 60}},
+		{64, []int{1, 2, 4, 8, 16, 32, 64}},
+	}
+	for _, c := range cases {
+		got := defaultThreadSweep(c.ncpu)
+		if len(got) != len(c.want) {
+			t.Errorf("defaultThreadSweep(%d) = %v, want %v", c.ncpu, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("defaultThreadSweep(%d) = %v, want %v", c.ncpu, got, c.want)
+				break
+			}
+		}
 	}
 }
 

@@ -8,17 +8,31 @@ import (
 	"time"
 
 	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/engine"
 	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/faultsim"
 	"github.com/joda-explore/betze/internal/obs"
 )
+
+// userResult is one concurrent user's outcome at one concurrency level.
+type userResult struct {
+	completed int
+	total     time.Duration
+	timedOut  bool
+	err       error
+}
 
 // MultiUser evaluates concurrent exploration sessions against a single
 // shared JODA instance — the multi-user evaluation §III of the paper
 // sketches ("we could generate multiple sessions and execute them
 // simultaneously. Using different configurations for different sessions is
 // also possible."). For each concurrency level it runs a mixed population
-// (novice/intermediate/expert round-robin) and reports wall time, total
-// queries and throughput.
+// (novice/intermediate/expert round-robin) and reports wall time, total and
+// completed queries and throughput. A user hitting the timeout or an
+// execution error degrades to a recorded per-user outcome — it does not
+// abort the experiment — and always closes its session trace with
+// EvSessionEnd. With Config.Faults enabled, the shared engine is wrapped
+// with the deterministic fault injector.
 func MultiUser(e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
@@ -28,6 +42,7 @@ func MultiUser(e *Env) (*Result, error) {
 	presets := core.Presets()
 
 	var rows [][]string
+	var notes []string
 	for _, users := range levels {
 		sessions := make([]*core.Session, users)
 		for u := 0; u < users; u++ {
@@ -42,12 +57,16 @@ func MultiUser(e *Env) (*Result, error) {
 		}
 		eng := jodasim.New(jodasim.Options{})
 		eng.ImportValues(ds.name, ds.docs)
+		var exec engine.Engine = eng
+		if e.Cfg.Faults.Enabled() {
+			exec = faultsim.Wrap(eng, e.Cfg.Faults)
+		}
 
 		ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
 		ctx = obs.With(ctx, e.Cfg.Obs)
 		start := time.Now()
 		var wg sync.WaitGroup
-		errs := make([]error, users)
+		results := make([]userResult, users)
 		queries := 0
 		for u, sess := range sessions {
 			queries += len(sess.Queries)
@@ -56,41 +75,67 @@ func MultiUser(e *Env) (*Result, error) {
 				defer wg.Done()
 				label := fmt.Sprintf("%s/user%d", ds.name, u)
 				e.Cfg.Obs.Record(obs.Event{
-					Type: obs.EvSessionStart, Engine: eng.Name(), Dataset: ds.name,
+					Type: obs.EvSessionStart, Engine: exec.Name(), Dataset: ds.name,
 					Session: label, Queries: len(sess.Queries),
 				})
-				var total time.Duration
+				r := &results[u]
+				defer func() {
+					ev := obs.Event{
+						Type: obs.EvSessionEnd, Engine: exec.Name(), Dataset: ds.name,
+						Session: label, Duration: r.total, TimedOut: r.timedOut,
+					}
+					if r.err != nil {
+						ev.Err = r.err.Error()
+					}
+					e.Cfg.Obs.Record(ev)
+				}()
 				for _, q := range sess.Queries {
-					stats, err := eng.Execute(ctx, q, io.Discard)
-					if err != nil {
-						errs[u] = err
+					stats, err := exec.Execute(ctx, q, io.Discard)
+					if ctx.Err() != nil {
+						r.timedOut = true
+						e.Cfg.Obs.Record(obs.Event{
+							Type: obs.EvTimeout, Engine: exec.Name(), Dataset: ds.name,
+							Session: label, Query: q.ID,
+						})
+						e.Cfg.Obs.Counter("harness.timeouts").Inc()
 						return
 					}
-					total += stats.Duration
+					if err != nil {
+						r.err = fmt.Errorf("%s: %w", q.ID, err)
+						return
+					}
+					r.completed++
+					r.total += stats.Duration
 				}
-				e.Cfg.Obs.Record(obs.Event{
-					Type: obs.EvSessionEnd, Engine: eng.Name(), Dataset: ds.name,
-					Session: label, Duration: total,
-				})
 			}(u, sess)
 		}
 		wg.Wait()
 		wall := time.Since(start)
 		cancel()
 		eng.Close()
-		for _, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("multiuser (%d users): %w", users, err)
+		completed := 0
+		for u, r := range results {
+			completed += r.completed
+			if r.err != nil {
+				notes = append(notes, fmt.Sprintf("(%d users: user%d failed at query %d/%d: %v)",
+					users, u, r.completed+1, len(sessions[u].Queries), r.err))
+			} else if r.timedOut {
+				notes = append(notes, fmt.Sprintf("(%d users: user%d timed out after %d/%d queries)",
+					users, u, r.completed, len(sessions[u].Queries)))
 			}
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", users),
 			fmt.Sprintf("%d", queries),
+			fmt.Sprintf("%d", completed),
 			FormatDuration(wall),
-			fmt.Sprintf("%.0f", float64(queries)/wall.Seconds()),
+			fmt.Sprintf("%.0f", float64(completed)/wall.Seconds()),
 		})
 	}
-	res := tableResult("multiuser", []string{"concurrent users", "queries", "wall time", "queries/s"}, rows)
+	res := tableResult("multiuser", []string{"concurrent users", "queries", "completed", "wall time", "queries/s"}, rows)
 	res.note("(mixed novice/intermediate/expert population on one shared JODA instance)")
+	for _, n := range notes {
+		res.note(n)
+	}
 	return res, nil
 }

@@ -1,0 +1,492 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/obs"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// okEngine succeeds at everything; wrapped with faultsim, every failure it
+// shows is an injected one.
+type okEngine struct{ execs int }
+
+func (*okEngine) Name() string { return "ok" }
+
+func (*okEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	return engine.ImportStats{Docs: 1}, nil
+}
+
+func (e *okEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	e.execs++
+	return engine.ExecStats{Duration: time.Millisecond, Scanned: 1}, nil
+}
+
+func (*okEngine) Reset() error { return nil }
+func (*okEngine) Close() error { return nil }
+
+// permFailEngine fails its first `fails` executions with a permanent
+// (non-retryable) error, then succeeds.
+type permFailEngine struct {
+	fails int
+	execs int
+}
+
+func (*permFailEngine) Name() string { return "permfail" }
+
+func (*permFailEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	return engine.ImportStats{}, nil
+}
+
+func (e *permFailEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	e.execs++
+	if e.execs <= e.fails {
+		return engine.ExecStats{}, errors.New("permanent failure")
+	}
+	return engine.ExecStats{Duration: time.Millisecond}, nil
+}
+
+func (*permFailEngine) Reset() error { return nil }
+func (*permFailEngine) Close() error { return nil }
+
+// slowOnceEngine blocks its first execution until the (attempt) context
+// expires, then answers instantly — the shape of one stuck query.
+type slowOnceEngine struct{ execs int }
+
+func (*slowOnceEngine) Name() string { return "slowonce" }
+
+func (*slowOnceEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	return engine.ImportStats{}, nil
+}
+
+func (e *slowOnceEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	e.execs++
+	if e.execs == 1 {
+		<-ctx.Done()
+		return engine.ExecStats{}, ctx.Err()
+	}
+	return engine.ExecStats{Duration: time.Millisecond}, nil
+}
+
+func (*slowOnceEngine) Reset() error { return nil }
+func (*slowOnceEngine) Close() error { return nil }
+
+// amnesiacEngine tracks datasets like a real engine but silently loses its
+// derived datasets at execution number forgetAt — a crash the executor can
+// only detect by the unknown-dataset error on a name the session stored.
+type amnesiacEngine struct {
+	forgetAt int
+	execs    int
+	base     map[string]bool
+	derived  map[string]bool
+}
+
+func newAmnesiac(forgetAt int) *amnesiacEngine {
+	return &amnesiacEngine{forgetAt: forgetAt, base: map[string]bool{}, derived: map[string]bool{}}
+}
+
+func (*amnesiacEngine) Name() string { return "amnesiac" }
+
+func (e *amnesiacEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	e.base[name] = true
+	return engine.ImportStats{Docs: 1}, nil
+}
+
+func (e *amnesiacEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	e.execs++
+	if e.execs == e.forgetAt {
+		e.derived = map[string]bool{}
+	}
+	if !e.base[q.Base] && !e.derived[q.Base] {
+		return engine.ExecStats{}, engine.UnknownDataset("amnesiac", q.Base)
+	}
+	if q.Store != "" {
+		e.derived[q.Store] = true
+	}
+	return engine.ExecStats{Duration: time.Millisecond}, nil
+}
+
+func (e *amnesiacEngine) Reset() error {
+	e.derived = map[string]bool{}
+	return nil
+}
+
+func (*amnesiacEngine) Close() error { return nil }
+
+func plainQueries(n int) []*query.Query {
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		qs[i] = &query.Query{ID: fmt.Sprintf("q%d", i+1), Base: "ds"}
+	}
+	return qs
+}
+
+func traceScope() (obs.Scope, *bytes.Buffer, *obs.Registry) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	return obs.Scope{Metrics: reg, Trace: obs.NewRecorder(&buf)}, &buf, reg
+}
+
+// TestRetryCompletesWhatNoRetryDrops is the acceptance check: at a fixed
+// fault seed and rate, the retrying executor completes every query the
+// no-retry run drops.
+func TestRetryCompletesWhatNoRetryDrops(t *testing.T) {
+	opts := faultsim.Options{Seed: 99, QueryErrorRate: 0.6}
+	qs := plainQueries(20)
+
+	noRetry, rs1 := RunQueries(context.Background(),
+		faultsim.Wrap(&okEngine{}, opts), qs, RetryPolicy{}, io.Discard, "t")
+	if rs1.Skipped == 0 {
+		t.Fatal("no-retry run dropped nothing at a 60% fault rate — test is vacuous")
+	}
+	if rs1.Retries != 0 {
+		t.Errorf("no-retry run retried %d times", rs1.Retries)
+	}
+
+	sc, _, reg := traceScope()
+	ctx := obs.With(context.Background(), sc)
+	withRetry, rs2 := RunQueries(ctx,
+		faultsim.Wrap(&okEngine{}, opts), qs, DefaultRetryPolicy(), io.Discard, "t")
+	if rs2.Completed != len(qs) || rs2.Skipped != 0 {
+		t.Fatalf("retrying run: completed %d/%d, skipped %d", rs2.Completed, len(qs), rs2.Skipped)
+	}
+	if rs2.Retries == 0 {
+		t.Error("retrying run reports zero retries under injection")
+	}
+	for i := range qs {
+		if noRetry[i].Err != nil && withRetry[i].Err != nil {
+			t.Errorf("%s dropped by both runs: %v", qs[i].ID, withRetry[i].Err)
+		}
+	}
+	if got := reg.Counter("harness.retries").Value(); got != int64(rs2.Retries) {
+		t.Errorf("harness.retries counter = %d, want %d", got, rs2.Retries)
+	}
+}
+
+// TestCrashRecoveryReplaysLineage injects crashes on every first attempt:
+// the executor must rebuild the derived datasets and finish the session.
+func TestCrashRecoveryReplaysLineage(t *testing.T) {
+	qs := []*query.Query{
+		{ID: "q1", Base: "base", Store: "d1"},
+		{ID: "q2", Base: "d1", Store: "d2"},
+		{ID: "q3", Base: "d2"},
+	}
+	inner := newAmnesiac(0)
+	eng := faultsim.Wrap(inner, faultsim.Options{Seed: 5, CrashRate: 1, MaxFaultsPerOp: 1})
+	ctx := context.Background()
+	if _, _, err := RunImport(ctx, eng, "base", "f", DefaultRetryPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	sc, buf, reg := traceScope()
+	_, rs := RunQueries(obs.With(ctx, sc), eng, qs, DefaultRetryPolicy(), io.Discard, "t")
+	if rs.Completed != len(qs) || rs.Skipped != 0 {
+		t.Fatalf("crashing session did not finish: %+v", rs)
+	}
+	if rs.Recovered == 0 {
+		t.Error("no recoveries recorded despite injected crashes")
+	}
+	if !inner.derived["d1"] || !inner.derived["d2"] {
+		t.Errorf("derived datasets not rebuilt: %v", inner.derived)
+	}
+	if got := reg.Counter("harness.recoveries").Value(); got == 0 {
+		t.Error("harness.recoveries counter not incremented")
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRecovery bool
+	for _, e := range events {
+		if e.Type == obs.EvRecovery {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("no recovery event on the trace")
+	}
+}
+
+// TestSilentCrashDetectedViaLineage covers the second crash trigger: the
+// engine loses derived state without returning a crash error, and the
+// executor infers the crash from ErrUnknownDataset on a stored name.
+func TestSilentCrashDetectedViaLineage(t *testing.T) {
+	qs := []*query.Query{
+		{ID: "q1", Base: "base", Store: "d1"},
+		{ID: "q2", Base: "d1"},
+		{ID: "q3", Base: "d1"},
+	}
+	inner := newAmnesiac(2) // forget derived state right when q2 executes
+	if _, err := inner.ImportFile(context.Background(), "base", "f"); err != nil {
+		t.Fatal(err)
+	}
+	_, rs := RunQueries(context.Background(), inner, qs, DefaultRetryPolicy(), io.Discard, "t")
+	if rs.Completed != len(qs) || rs.Recovered != 1 {
+		t.Fatalf("silent crash not recovered: %+v", rs)
+	}
+	if !inner.derived["d1"] {
+		t.Errorf("derived dataset not rebuilt: %v", inner.derived)
+	}
+}
+
+// TestUnknownBaseIsNotACrash: an unknown dataset the session never stored is
+// a permanent error — skip-and-record, no recovery, no retries.
+func TestUnknownBaseIsNotACrash(t *testing.T) {
+	qs := []*query.Query{
+		{ID: "q1", Base: "ds"},
+		{ID: "q2", Base: "ghost"},
+		{ID: "q3", Base: "ds"},
+	}
+	inner := newAmnesiac(0)
+	inner.base["ds"] = true
+	outcomes, rs := RunQueries(context.Background(), inner, qs, DefaultRetryPolicy(), io.Discard, "t")
+	if rs.Completed != 2 || rs.Skipped != 1 || rs.Recovered != 0 || rs.Retries != 0 {
+		t.Fatalf("stats = %+v", rs)
+	}
+	if outcomes[1].Err == nil || !errors.Is(outcomes[1].Err, engine.ErrUnknownDataset) || outcomes[1].Attempts != 1 {
+		t.Errorf("ghost outcome = %+v", outcomes[1])
+	}
+	if rs.FirstErr == nil || !errors.Is(rs.FirstErr, engine.ErrUnknownDataset) {
+		t.Errorf("FirstErr = %v", rs.FirstErr)
+	}
+}
+
+// TestBreakerOpensAndSkips: consecutive failures open the breaker; while
+// open, queries are skipped without touching the engine.
+func TestBreakerOpensAndSkips(t *testing.T) {
+	eng := &permFailEngine{fails: 1000}
+	pol := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: time.Hour}
+	sc, buf, reg := traceScope()
+	outcomes, rs := RunQueries(obs.With(context.Background(), sc), eng, plainQueries(10), pol, io.Discard, "t")
+	if rs.BreakerOpens != 1 || rs.Skipped != 10 || rs.Completed != 0 {
+		t.Fatalf("stats = %+v", rs)
+	}
+	if eng.execs != 3 {
+		t.Errorf("engine executed %d times, want 3 (breaker must short-circuit)", eng.execs)
+	}
+	for i, o := range outcomes[3:] {
+		if o.Attempts != 0 || !o.Skipped {
+			t.Errorf("outcome %d not short-circuited: %+v", i+3, o)
+		}
+	}
+	if got := reg.Counter("harness.breaker_opens").Value(); got != 1 {
+		t.Errorf("harness.breaker_opens = %d, want 1", got)
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakerSkips := 0
+	sawOpen := false
+	for _, e := range events {
+		if e.Type == obs.EvSkip && e.Kind == "breaker_open" {
+			breakerSkips++
+		}
+		if e.Type == obs.EvBreaker && e.Kind == "open" {
+			sawOpen = true
+		}
+	}
+	if breakerSkips != 7 || !sawOpen {
+		t.Errorf("breaker trace: %d breaker_open skips (want 7), open event %v", breakerSkips, sawOpen)
+	}
+}
+
+// TestBreakerHalfOpenRecovers: after the cooldown a trial query runs; its
+// failure re-opens the breaker, its success closes it for good.
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	eng := &permFailEngine{fails: 6}
+	pol := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 5, BreakerCooldown: time.Nanosecond}
+	_, rs := RunQueries(context.Background(), eng, plainQueries(10), pol, io.Discard, "t")
+	// q1–q5 fail and open the breaker; q6 is a failing half-open trial that
+	// re-opens it; q7 is a succeeding trial that closes it; q8–q10 pass.
+	if rs.BreakerOpens != 2 {
+		t.Errorf("BreakerOpens = %d, want 2", rs.BreakerOpens)
+	}
+	if rs.Completed != 4 || rs.Skipped != 6 {
+		t.Errorf("stats = %+v", rs)
+	}
+	if eng.execs != 10 {
+		t.Errorf("engine executed %d times, want 10", eng.execs)
+	}
+}
+
+// TestQueryDeadlineRetries: an attempt exceeding the per-query deadline is
+// retried while the session deadline allows.
+func TestQueryDeadlineRetries(t *testing.T) {
+	eng := &slowOnceEngine{}
+	pol := RetryPolicy{MaxAttempts: 3, QueryDeadline: 20 * time.Millisecond, BaseBackoff: time.Millisecond}
+	outcomes, rs := RunQueries(context.Background(), eng, plainQueries(1), pol, io.Discard, "t")
+	if rs.Completed != 1 || rs.Retries != 1 {
+		t.Fatalf("stats = %+v", rs)
+	}
+	if outcomes[0].Err != nil || outcomes[0].Attempts != 2 {
+		t.Errorf("outcome = %+v", outcomes[0])
+	}
+}
+
+// TestSessionDeadlineStillWins: the session timeout is reported as a
+// timeout, not converted into retries or skips.
+func TestSessionDeadlineStillWins(t *testing.T) {
+	eng := &slowOnceEngine{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sc, buf, reg := traceScope()
+	_, rs := RunQueries(obs.With(ctx, sc), eng, plainQueries(3), DefaultRetryPolicy(), io.Discard, "sess")
+	if !rs.TimedOut {
+		t.Fatalf("session deadline not reported: %+v", rs)
+	}
+	if rs.Skipped != 0 {
+		t.Errorf("timeout miscounted as skip: %+v", rs)
+	}
+	if got := reg.Counter("harness.timeouts").Value(); got != 1 {
+		t.Errorf("harness.timeouts = %d, want 1", got)
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTimeout := false
+	for _, e := range events {
+		if e.Type == obs.EvTimeout && e.Query == "q1" {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Error("no timeout event for the stuck query")
+	}
+}
+
+// TestRunImportRetries: transient import faults are retried; the bounded
+// injector guarantees eventual success.
+func TestRunImportRetries(t *testing.T) {
+	eng := faultsim.Wrap(&okEngine{}, faultsim.Options{Seed: 3, ImportErrorRate: 1, MaxFaultsPerOp: 1})
+	pol := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}
+	imp, retries, err := RunImport(context.Background(), eng, "ds", "f", pol)
+	if err != nil {
+		t.Fatalf("import did not recover: %v", err)
+	}
+	if retries != 1 || imp.Docs != 1 {
+		t.Errorf("retries = %d, imp = %+v", retries, imp)
+	}
+}
+
+// TestRunImportPermanentFailsFast: a structurally failing import is not
+// retried (PostgreSQL on Reddit fails the same way every time).
+func TestRunImportPermanentFailsFast(t *testing.T) {
+	eng := newAmnesiac(0)
+	failing := &importFailEngine{inner: eng}
+	_, retries, err := RunImport(context.Background(), failing, "ds", "f", DefaultRetryPolicy())
+	if err == nil || retries != 0 {
+		t.Errorf("permanent import error retried %d times (err %v)", retries, err)
+	}
+	if failing.calls != 1 {
+		t.Errorf("import attempted %d times, want 1", failing.calls)
+	}
+}
+
+type importFailEngine struct {
+	inner engine.Engine
+	calls int
+}
+
+func (e *importFailEngine) Name() string { return e.inner.Name() }
+
+func (e *importFailEngine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
+	e.calls++
+	return engine.ImportStats{}, errors.New("bad input bytes")
+}
+
+func (e *importFailEngine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (engine.ExecStats, error) {
+	return e.inner.Execute(ctx, q, sink)
+}
+
+func (e *importFailEngine) Reset() error { return e.inner.Reset() }
+func (e *importFailEngine) Close() error { return e.inner.Close() }
+
+// TestResilienceExperimentDeterministic: the resilience table contains only
+// counts derived from the deterministic fault schedule, so two runs over
+// the same Env must render identically.
+func TestResilienceExperimentDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sessions")
+	}
+	env := newTinyEnv(t)
+	first, err := Resilience(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Resilience(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Text() != second.Text() {
+		t.Errorf("resilience output not deterministic:\n%s\n---\n%s", first.Text(), second.Text())
+	}
+	// The zero-rate rows must complete everything with no resilience
+	// machinery engaged.
+	rows := first.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d:\n%s", len(rows), first.Text())
+	}
+	for _, row := range rows[:2] {
+		if row[3] != "0" || row[4] != "0" || row[5] != "0" {
+			t.Errorf("zero-rate row shows resilience activity: %v", row)
+		}
+	}
+	// With retries on, every faulted run must complete all queries
+	// (MaxAttempts exceeds the injector's per-op fault bound).
+	for i, row := range rows {
+		if i%2 == 1 && row[2] != rows[0][2] {
+			t.Errorf("retrying row %d completed %q, want %q: %v", i, row[2], rows[0][2], row)
+		}
+	}
+}
+
+// TestMultiUserDegradesUnderFaults: with fault injection on the shared
+// engine, MultiUser must record per-user failures instead of aborting, and
+// keep session_start/session_end balanced on the trace.
+func TestMultiUserDegradesUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full multi-user sweeps")
+	}
+	cfg := tinyConfig(t)
+	sc, buf, _ := traceScope()
+	cfg.Obs = sc
+	cfg.Faults = faultsim.Uniform(0.8, 77)
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	res, err := MultiUser(env)
+	if err != nil {
+		t.Fatalf("MultiUser aborted instead of degrading: %v", err)
+	}
+	out := res.Text()
+	if out == "" {
+		t.Fatal("no output")
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends := 0, 0
+	for _, e := range events {
+		switch e.Type {
+		case obs.EvSessionStart:
+			starts++
+		case obs.EvSessionEnd:
+			ends++
+		}
+	}
+	if starts == 0 || starts != ends {
+		t.Errorf("unbalanced multiuser sessions: %d starts, %d ends\n%s", starts, ends, out)
+	}
+}

@@ -36,6 +36,21 @@ const (
 	EvTimeout = "timeout"
 	// EvError records a failed import or execution.
 	EvError = "error"
+	// EvFault records an injected fault; Kind carries the fault kind and
+	// Attempt the operation's attempt number.
+	EvFault = "fault"
+	// EvRetry records the resilient executor re-attempting a failed
+	// operation; Attempt is the attempt that just failed.
+	EvRetry = "retry"
+	// EvSkip records a query abandoned after exhausting its attempts, or
+	// short-circuited by an open circuit breaker (Kind: "breaker_open").
+	EvSkip = "skip"
+	// EvBreaker records a circuit-breaker transition; Kind is the new
+	// state ("open", "closed").
+	EvBreaker = "breaker"
+	// EvRecovery records a crash recovery replaying the stored-dataset
+	// lineage; Queries is the lineage length.
+	EvRecovery = "recovery"
 )
 
 // Event is one structured trace record. Zero-valued fields are omitted from
@@ -59,6 +74,10 @@ type Event struct {
 	Session string `json:"session,omitempty"`
 	// Lang is the target language of a query_translate event.
 	Lang string `json:"lang,omitempty"`
+	// Kind subtypes fault, skip and breaker events.
+	Kind string `json:"kind,omitempty"`
+	// Attempt is the zero-based attempt number of retry/fault events.
+	Attempt int `json:"attempt,omitempty"`
 
 	Docs     int64 `json:"docs,omitempty"`
 	Bytes    int64 `json:"bytes,omitempty"`
