@@ -1,9 +1,9 @@
 # Developer targets for the BETZE reproduction. Everything is stdlib-only Go;
-# `make check` is the full CI gate (vet + race-enabled tests).
+# `make check` is the full CI gate (vet + lint + race-enabled tests).
 
 GO ?= go
 
-.PHONY: all build test vet race chaos check bench clean
+.PHONY: all build test vet lint race chaos check bench clean
 
 all: build
 
@@ -16,6 +16,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Machine-checked invariants (DESIGN.md): determinism, sentinel wrapping,
+# context plumbing, the closed observability vocabulary, resource release.
+# Exits non-zero on any finding; suppress with //lint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/betze-lint ./...
+
 # The multiuser harness, the jodasim worker pool and the obs registry are the
 # concurrency hot spots; run the whole tree under the race detector.
 race:
@@ -27,7 +33,7 @@ chaos:
 	$(GO) test -race -run 'Fault|Resilien|Recovery|Breaker|Retry|Skip|Cancel|Crash|MultiUser' \
 		./internal/faultsim/... ./internal/harness/... ./internal/engine/...
 
-check: vet race chaos
+check: vet lint race chaos
 
 # A quick laptop-scale pass over every experiment of the paper.
 bench:

@@ -63,7 +63,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	var res *harness.Result
 	for i := 0; i < b.N; i++ {
-		res, err = exp.Run(e)
+		res, err = exp.Run(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}

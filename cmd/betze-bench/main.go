@@ -22,9 +22,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -107,6 +109,12 @@ func run() error {
 	}
 	defer env.Close()
 
+	// The experiment layer is fully context-plumbed (see the ctxplumb
+	// invariant in DESIGN.md): one interrupt-aware root context cancels
+	// every in-flight session, import and query cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	experiments := harness.Experiments()
 	if *exp != "all" {
 		e, err := harness.ByID(*exp)
@@ -118,7 +126,7 @@ func run() error {
 	for _, e := range experiments {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		res, err := e.Run(env)
+		res, err := e.Run(ctx, env)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree lints the real module: the tree must be clean, so the
+// driver exits 0 with no text output.
+func TestRunCleanTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on the module tree, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run wrote text output:\n%s", out.String())
+	}
+}
+
+// TestRunJSONClean checks a clean -json run emits the literal empty array.
+func TestRunJSONClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json run = %q, want []", got)
+	}
+}
+
+// TestRunViolatingModule builds a throwaway module with a determinism
+// violation and checks the driver reports it and exits 1.
+func TestRunViolatingModule(t *testing.T) {
+	dir := t.TempDir()
+	core := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(core, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/fixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(core, "core.go"), `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on a violating module, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "determinism") || !strings.Contains(got, "time.Now()") {
+		t.Errorf("report does not name the violation:\n%s", got)
+	}
+	if !strings.Contains(got, "1 finding(s)") {
+		t.Errorf("report lacks the summary line:\n%s", got)
+	}
+}
+
+// TestRunList checks -list prints every analyzer of the default suite.
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"closecheck", "ctxplumb", "determinism", "errwrap", "obsvocab"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunUnknownAnalyzer checks the usage exit code.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "nonesuch", "../.."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nonesuch") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errOut.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -136,13 +136,13 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	stored, err := s.generate(r)
-	s.reg.Histogram("web.generate").Observe(time.Since(start))
+	s.reg.Histogram(obs.MWebGenerate).Observe(time.Since(start))
 	if err != nil {
-		s.reg.Counter("web.generate_errors").Inc()
+		s.reg.Counter(obs.MWebGenerateErrors).Inc()
 		http.Error(w, "generation failed: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.reg.Counter("web.sessions_generated").Inc()
+	s.reg.Counter(obs.MWebSessionsGenerated).Inc()
 	http.Redirect(w, r, fmt.Sprintf("/session/%d", stored.id), http.StatusSeeOther)
 }
 
@@ -222,7 +222,7 @@ func (s *server) generate(r *http.Request) (*storedSession, error) {
 	stored.id = s.nextID
 	s.nextID++
 	s.sessions[stored.id] = stored
-	s.reg.Gauge("web.sessions_stored").Set(float64(len(s.sessions)))
+	s.reg.Gauge(obs.MWebSessionsStored).Set(float64(len(s.sessions)))
 	s.mu.Unlock()
 	return stored, nil
 }

@@ -468,7 +468,7 @@ func benchmarkEngine(out io.Writer, sc obs.Scope, eng engine.Engine, datasets ma
 		if err != nil {
 			if ctx.Err() != nil {
 				sc.Record(obs.Event{Type: obs.EvTimeout, Engine: eng.Name(), Dataset: base, TimedOut: true})
-				sc.Counter("run.timeouts").Inc()
+				sc.Counter(obs.MRunTimeouts).Inc()
 			}
 			fmt.Fprintf(out, "%-22s could not load dataset: %v\n", eng.Name(), err)
 			return nil

@@ -407,6 +407,7 @@ func (e *Engine) CountMatching(base string, pred query.Predicate) (int64, error)
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore ctxplumb core.Backend carries no context; scan reads ctx only for cancellation, which generation cannot request
 	matched, err := e.scan(context.Background(), docs, residual)
 	if err != nil {
 		return 0, err

@@ -26,11 +26,11 @@ func ObserveImport(ctx context.Context, engineName, dataset string, st ImportSta
 	if err != nil {
 		ev.Type = obs.EvError
 		ev.Err = err.Error()
-		sc.Counter("engine." + engineName + ".import_errors").Inc()
+		sc.Counter(obs.EngineMetric(engineName, obs.EMImportErrors)).Inc()
 	} else {
-		sc.Counter("engine." + engineName + ".imports").Inc()
-		sc.Counter("engine." + engineName + ".imported_docs").Add(st.Docs)
-		sc.Observe("engine."+engineName+".import", st.Duration)
+		sc.Counter(obs.EngineMetric(engineName, obs.EMImports)).Inc()
+		sc.Counter(obs.EngineMetric(engineName, obs.EMImportedDocs)).Add(st.Docs)
+		sc.Observe(obs.EngineMetric(engineName, obs.EMImport), st.Duration)
 	}
 	sc.Record(ev)
 }
@@ -57,11 +57,11 @@ func ObserveExec(ctx context.Context, engineName string, q *query.Query, st Exec
 	if err != nil {
 		ev.Type = obs.EvError
 		ev.Err = err.Error()
-		sc.Counter("engine." + engineName + ".query_errors").Inc()
+		sc.Counter(obs.EngineMetric(engineName, obs.EMQueryErrors)).Inc()
 	} else {
-		sc.Counter("engine." + engineName + ".queries").Inc()
-		sc.Counter("engine." + engineName + ".docs_scanned").Add(st.Scanned)
-		sc.Observe("engine."+engineName+".query", st.Duration)
+		sc.Counter(obs.EngineMetric(engineName, obs.EMQueries)).Inc()
+		sc.Counter(obs.EngineMetric(engineName, obs.EMDocsScanned)).Add(st.Scanned)
+		sc.Observe(obs.EngineMetric(engineName, obs.EMQuery), st.Duration)
 	}
 	sc.Record(ev)
 }
@@ -73,12 +73,12 @@ func ObserveCache(ctx context.Context, engineName string, q *query.Query, hit bo
 		return
 	}
 	typ := obs.EvCacheMiss
-	metric := ".cache_misses"
+	metric := obs.EMCacheMisses
 	if hit {
 		typ = obs.EvCacheHit
-		metric = ".cache_hits"
+		metric = obs.EMCacheHits
 	}
-	sc.Counter("engine." + engineName + metric).Inc()
+	sc.Counter(obs.EngineMetric(engineName, metric)).Inc()
 	sc.Record(obs.Event{Type: typ, Engine: engineName, Query: q.ID, Dataset: q.Base})
 }
 
@@ -88,6 +88,6 @@ func ObserveEviction(ctx context.Context, engineName string) {
 	if !sc.Enabled() {
 		return
 	}
-	sc.Counter("engine." + engineName + ".evictions").Inc()
+	sc.Counter(obs.EngineMetric(engineName, obs.EMEvictions)).Inc()
 	sc.Record(obs.Event{Type: obs.EvEviction, Engine: engineName})
 }

@@ -184,7 +184,7 @@ func (e *Engine) inject(ctx context.Context, kind, op string, attempt int, datas
 	if !sc.Enabled() {
 		return
 	}
-	sc.Counter("faultsim." + kind).Inc()
+	sc.Counter(obs.FaultMetric(kind)).Inc()
 	sc.Record(obs.Event{
 		Type: obs.EvFault, Engine: e.inner.Name(), Dataset: dataset,
 		Query: queryID, Kind: kind, Attempt: attempt,

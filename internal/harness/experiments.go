@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,7 +19,7 @@ type Experiment struct {
 	// Title describes what the paper shows.
 	Title string
 	// Run executes the experiment and renders its result as text.
-	Run func(e *Env) (*Result, error)
+	Run func(ctx context.Context, e *Env) (*Result, error)
 }
 
 // Experiments lists every reproducible figure and table in paper order.
@@ -56,7 +57,7 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Table1 prints the preset parameters of Table I.
-func Table1(*Env) (*Result, error) {
+func Table1(context.Context, *Env) (*Result, error) {
 	rows := make([][]string, 0, 3)
 	for _, p := range core.Presets() {
 		rows = append(rows, []string{p.Name,
@@ -67,7 +68,7 @@ func Table1(*Env) (*Result, error) {
 
 // Fig5 fixes n=20 for every preset and reports the mean runtime of the i-th
 // query across sessions, executed on JODA only.
-func Fig5(e *Env) (*Result, error) {
+func Fig5(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -82,7 +83,7 @@ func Fig5(e *Env) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s session %d: %w", preset.Name, s, err)
 			}
-			res := e.runSession(jodaSpec(0), ds, sess)
+			res := e.runSession(ctx, jodaSpec(0), ds, sess)
 			if res.Err != nil || res.ImportErr != nil {
 				return nil, fmt.Errorf("fig5: %v / %v", res.Err, res.ImportErr)
 			}
@@ -115,7 +116,7 @@ func Fig5(e *Env) (*Result, error) {
 
 // Fig6 reports the distribution of full-session execution times per preset
 // with the natural session lengths (20/10/5).
-func Fig6(e *Env) (*Result, error) {
+func Fig6(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -128,7 +129,7 @@ func Fig6(e *Env) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s session %d: %w", preset.Name, s, err)
 			}
-			res := e.runSession(jodaSpec(0), ds, sess)
+			res := e.runSession(ctx, jodaSpec(0), ds, sess)
 			if res.Err != nil || res.ImportErr != nil {
 				return nil, fmt.Errorf("fig6: %v / %v", res.Err, res.ImportErr)
 			}
@@ -145,7 +146,7 @@ func Fig6(e *Env) (*Result, error) {
 // Fig7 sweeps the alpha/beta grid with n=10 queries per session and reports
 // the mean session time per cell (JODA only, like the paper's
 // benchmark-centric experiments).
-func Fig7(e *Env) (*Result, error) {
+func Fig7(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -176,7 +177,7 @@ func Fig7(e *Env) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("fig7 a=%.1f b=%.1f: %w", alpha, beta, err)
 				}
-				res := e.runSession(jodaSpec(0), ds, sess)
+				res := e.runSession(ctx, jodaSpec(0), ds, sess)
 				if res.Err != nil || res.ImportErr != nil {
 					return nil, fmt.Errorf("fig7: %v / %v", res.Err, res.ImportErr)
 				}
@@ -192,7 +193,7 @@ func Fig7(e *Env) (*Result, error) {
 
 // Fig8 tallies the generated predicate types per dataset: a preset sweep on
 // Twitter and one default session each on NoBench and Reddit.
-func Fig8(e *Env) (*Result, error) {
+func Fig8(ctx context.Context, e *Env) (*Result, error) {
 	type datasetCase struct {
 		label    string
 		ds       *datasetEnv
@@ -263,7 +264,7 @@ func Fig8(e *Env) (*Result, error) {
 // Fig9 sweeps the JODA thread count over the Twitter session (intermediate
 // preset, seed 123); the single-threaded engines are measured once and
 // repeated, as their execution does not depend on the sweep.
-func Fig9(e *Env) (*Result, error) {
+func Fig9(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -274,11 +275,11 @@ func Fig9(e *Env) (*Result, error) {
 	}
 	flat := map[string]SessionResult{}
 	for _, spec := range []engineSpec{mongoSpec(), pgSpec(), jqSpec()} {
-		flat[spec.name] = e.runSession(spec, ds, sess)
+		flat[spec.name] = e.runSession(ctx, spec, ds, sess)
 	}
 	var rows [][]string
 	for _, t := range e.Cfg.Threads {
-		res := e.runSession(jodaSpec(t), ds, sess)
+		res := e.runSession(ctx, jodaSpec(t), ds, sess)
 		rows = append(rows, []string{fmt.Sprintf("%d", t),
 			res.cell(), flat["MongoDB"].cell(), flat["PostgreSQL"].cell(), flat["jq"].cell()})
 	}
@@ -290,7 +291,7 @@ func Fig9(e *Env) (*Result, error) {
 // Fig10 sweeps the NoBench document count and reports the wall-clock time
 // including import, with the configured timeout (jq drops out first, as in
 // the paper).
-func Fig10(e *Env) (*Result, error) {
+func Fig10(ctx context.Context, e *Env) (*Result, error) {
 	sessOpts := core.Options{Seed: 123}
 	var rows [][]string
 	for _, n := range e.Cfg.NoBenchSweep {
@@ -304,7 +305,7 @@ func Fig10(e *Env) (*Result, error) {
 		}
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, spec := range systemSpecs(0) {
-			res := e.runSession(spec, ds, sess)
+			res := e.runSession(ctx, spec, ds, sess)
 			if res.ImportErr != nil || res.Err != nil || res.TimedOut {
 				row = append(row, res.cell())
 				continue
@@ -322,7 +323,7 @@ func Fig10(e *Env) (*Result, error) {
 // Table2 reports session execution time without import for the intermediate
 // preset with seed 123, on Twitter and NoBench, including JODA's eviction
 // mode.
-func Table2(e *Env) (*Result, error) {
+func Table2(ctx context.Context, e *Env) (*Result, error) {
 	tw, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -340,7 +341,7 @@ func Table2(e *Env) (*Result, error) {
 		}
 		results[label] = map[string]SessionResult{}
 		for _, spec := range specs {
-			results[label][spec.name] = e.runSession(spec, ds, sess)
+			results[label][spec.name] = e.runSession(ctx, spec, ds, sess)
 		}
 	}
 	var rows [][]string
@@ -355,7 +356,7 @@ func Table2(e *Env) (*Result, error) {
 // Table3 crosses presets, aggregation configurations, systems and datasets
 // with seed 1. PostgreSQL fails to load the Reddit dataset (U+0000 bodies),
 // exactly like the paper's Table III.
-func Table3(e *Env) (*Result, error) {
+func Table3(ctx context.Context, e *Env) (*Result, error) {
 	tw, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -401,7 +402,7 @@ func Table3(e *Env) (*Result, error) {
 					if err != nil {
 						return nil, fmt.Errorf("table3 %s/%s/%s: %w", dc.label, preset.Name, c.label, err)
 					}
-					res := e.runSession(spec, dc.ds, sess)
+					res := e.runSession(ctx, spec, dc.ds, sess)
 					row = append(row, res.cell())
 				}
 			}
@@ -414,7 +415,7 @@ func Table3(e *Env) (*Result, error) {
 // Table4 compares the path-depth distribution of the documents with the
 // distribution of attribute references in default and weighted-path
 // sessions.
-func Table4(e *Env) (*Result, error) {
+func Table4(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -459,7 +460,7 @@ func Table4(e *Env) (*Result, error) {
 }
 
 // GenCost reports the analysis/generation time split of §VI-A.
-func GenCost(e *Env) (*Result, error) {
+func GenCost(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -491,7 +492,7 @@ func GenCost(e *Env) (*Result, error) {
 
 // Skew reports the attribute-reference skew of §VI-C: the share of
 // references going to the top-10 and top-20 distinct attributes.
-func Skew(e *Env) (*Result, error) {
+func Skew(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -553,7 +554,7 @@ func Skew(e *Env) (*Result, error) {
 // queries completed, retries, skips, and crash recoveries. The injection is
 // deterministic per fault seed, so the row for a given rate is a fixture:
 // whatever the no-retry run drops, the retrying run completes.
-func Resilience(e *Env) (*Result, error) {
+func Resilience(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -574,7 +575,7 @@ func Resilience(e *Env) (*Result, error) {
 	for _, rate := range rates {
 		for _, pc := range policies {
 			faults := faultsim.Uniform(rate, e.Cfg.Seed)
-			res := e.runSessionWith(jodaSpec(0), ds, sess, faults, pc.pol)
+			res := e.runSessionWith(ctx, jodaSpec(0), ds, sess, faults, pc.pol)
 			completed := fmt.Sprintf("%d/%d", len(res.QueryTimes), len(sess.Queries))
 			if res.ImportErr != nil {
 				completed = "load failed"

@@ -343,13 +343,13 @@ type SessionResult struct {
 // (plus timeout/retry/skip/breaker/recovery events as they occur); the
 // engines themselves emit the per-import and per-query events through the
 // context.
-func (e *Env) runSession(spec engineSpec, ds *datasetEnv, s *core.Session) SessionResult {
-	return e.runSessionWith(spec, ds, s, e.Cfg.Faults, e.Cfg.Retry)
+func (e *Env) runSession(ctx context.Context, spec engineSpec, ds *datasetEnv, s *core.Session) SessionResult {
+	return e.runSessionWith(ctx, spec, ds, s, e.Cfg.Faults, e.Cfg.Retry)
 }
 
 // runSessionWith is runSession with explicit fault and retry options, so
 // the resilience experiment can sweep them against one Env.
-func (e *Env) runSessionWith(spec engineSpec, ds *datasetEnv, s *core.Session, faults faultsim.Options, retry RetryPolicy) SessionResult {
+func (e *Env) runSessionWith(ctx context.Context, spec engineSpec, ds *datasetEnv, s *core.Session, faults faultsim.Options, retry RetryPolicy) SessionResult {
 	res := SessionResult{Engine: spec.name}
 	eng, err := spec.make(e.dir)
 	if err != nil {
@@ -360,7 +360,7 @@ func (e *Env) runSessionWith(spec engineSpec, ds *datasetEnv, s *core.Session, f
 		eng = faultsim.Wrap(eng, faults)
 	}
 	defer eng.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, e.Cfg.Timeout)
 	defer cancel()
 	ctx = obs.With(ctx, e.Cfg.Obs)
 	sc := e.Cfg.Obs
@@ -378,8 +378,8 @@ func (e *Env) runSessionWith(spec engineSpec, ds *datasetEnv, s *core.Session, f
 			Type: obs.EvSessionEnd, Engine: engName, Dataset: ds.name,
 			Session: label, Duration: res.Total, TimedOut: res.TimedOut,
 		})
-		sc.Observe("harness.session", res.Total)
-		sc.Counter("harness.sessions").Inc()
+		sc.Observe(obs.MHarnessSession, res.Total)
+		sc.Counter(obs.MHarnessSessions).Inc()
 	}()
 
 	imp, retries, err := RunImport(ctx, eng, ds.name, ds.file, retry)
@@ -391,7 +391,7 @@ func (e *Env) runSessionWith(spec engineSpec, ds *datasetEnv, s *core.Session, f
 				Type: obs.EvTimeout, Engine: engName, Dataset: ds.name,
 				Session: label, Duration: e.Cfg.Timeout,
 			})
-			sc.Counter("harness.timeouts").Inc()
+			sc.Counter(obs.MHarnessTimeouts).Inc()
 		}
 		res.ImportErr = err
 		return res

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,7 +117,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"resilience": {"fault rate", "retried", "recovered", "0%", "50%"},
 	}
 	for _, exp := range Experiments() {
-		res, err := exp.Run(env)
+		res, err := exp.Run(context.Background(), env)
 		if err != nil {
 			t.Fatalf("%s: %v", exp.ID, err)
 		}
@@ -156,7 +157,7 @@ func TestRunSessionTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := env.runSession(jodaSpec(0), ds, sess)
+	res := env.runSession(context.Background(), jodaSpec(0), ds, sess)
 	if !res.TimedOut && res.ImportErr == nil {
 		t.Errorf("nanosecond timeout did not trip: %+v", res)
 	}

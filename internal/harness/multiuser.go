@@ -33,7 +33,7 @@ type userResult struct {
 // abort the experiment — and always closes its session trace with
 // EvSessionEnd. With Config.Faults enabled, the shared engine is wrapped
 // with the deterministic fault injector.
-func MultiUser(e *Env) (*Result, error) {
+func MultiUser(ctx context.Context, e *Env) (*Result, error) {
 	ds, err := e.Twitter()
 	if err != nil {
 		return nil, err
@@ -62,7 +62,7 @@ func MultiUser(e *Env) (*Result, error) {
 			exec = faultsim.Wrap(eng, e.Cfg.Faults)
 		}
 
-		ctx, cancel := context.WithTimeout(context.Background(), e.Cfg.Timeout)
+		ctx, cancel := context.WithTimeout(ctx, e.Cfg.Timeout)
 		ctx = obs.With(ctx, e.Cfg.Obs)
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -97,7 +97,7 @@ func MultiUser(e *Env) (*Result, error) {
 							Type: obs.EvTimeout, Engine: exec.Name(), Dataset: ds.name,
 							Session: label, Query: q.ID,
 						})
-						e.Cfg.Obs.Counter("harness.timeouts").Inc()
+						e.Cfg.Obs.Counter(obs.MHarnessTimeouts).Inc()
 						return
 					}
 					if err != nil {

@@ -61,7 +61,7 @@ func TestRunSessionTimeoutTrace(t *testing.T) {
 	}
 
 	done := make(chan SessionResult, 1)
-	go func() { done <- env.runSession(slowSpec(), ds, sess) }()
+	go func() { done <- env.runSession(context.Background(), slowSpec(), ds, sess) }()
 	var res SessionResult
 	select {
 	case res = <-done:
@@ -123,7 +123,7 @@ func TestSessionTraceDurationsSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := env.runSession(jodaSpec(0), ds, sess)
+	res := env.runSession(context.Background(), jodaSpec(0), ds, sess)
 	if res.Err != nil || res.ImportErr != nil {
 		t.Fatalf("session failed: %+v", res)
 	}
@@ -187,7 +187,7 @@ func TestExperimentsWithObsScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exp.Run(env); err != nil {
+	if _, err := exp.Run(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if err := cfg.Obs.Trace.Err(); err != nil {

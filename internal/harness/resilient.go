@@ -214,7 +214,7 @@ func RunImport(ctx context.Context, eng engine.Engine, name, path string, pol Re
 		if err == nil || ctx.Err() != nil || attempt >= pol.MaxAttempts || !retryable(err) {
 			return imp, attempt - 1, err
 		}
-		sc.Counter("harness.retries").Inc()
+		sc.Counter(obs.MHarnessRetries).Inc()
 		sc.Record(obs.Event{
 			Type: obs.EvRetry, Engine: eng.Name(), Dataset: name,
 			Attempt: attempt, Err: err.Error(),
@@ -248,10 +248,10 @@ func RunQueries(ctx context.Context, eng engine.Engine, queries []*query.Query, 
 			break
 		}
 		if !st.br.allow() {
-			st.sc.Counter("harness.skips").Inc()
+			st.sc.Counter(obs.MHarnessSkips).Inc()
 			st.sc.Record(obs.Event{
 				Type: obs.EvSkip, Engine: eng.Name(), Dataset: q.Base,
-				Query: q.ID, Session: session, Kind: "breaker_open",
+				Query: q.ID, Session: session, Kind: obs.KindBreakerOpen,
 			})
 			outcomes = append(outcomes, Outcome{Query: q, Err: errBreakerOpen, Skipped: true})
 			rs.Skipped++
@@ -265,7 +265,7 @@ func RunQueries(ctx context.Context, eng engine.Engine, queries []*query.Query, 
 			// The session deadline tripped mid-query: report the
 			// timeout, do not count the query as skipped.
 			rs.TimedOut = true
-			st.sc.Counter("harness.timeouts").Inc()
+			st.sc.Counter(obs.MHarnessTimeouts).Inc()
 			st.sc.Record(obs.Event{
 				Type: obs.EvTimeout, Engine: eng.Name(), Dataset: q.Base,
 				Query: q.ID, Session: session,
@@ -285,17 +285,17 @@ func RunQueries(ctx context.Context, eng engine.Engine, queries []*query.Query, 
 		if rs.FirstErr == nil {
 			rs.FirstErr = fmt.Errorf("%s on %s: %w", q.ID, eng.Name(), o.Err)
 		}
-		st.sc.Counter("harness.skips").Inc()
+		st.sc.Counter(obs.MHarnessSkips).Inc()
 		st.sc.Record(obs.Event{
 			Type: obs.EvSkip, Engine: eng.Name(), Dataset: q.Base,
 			Query: q.ID, Session: session, Attempt: o.Attempts, Err: o.Err.Error(),
 		})
 		if st.br.failure() {
 			rs.BreakerOpens++
-			st.sc.Counter("harness.breaker_opens").Inc()
+			st.sc.Counter(obs.MHarnessBreakerOpens).Inc()
 			st.sc.Record(obs.Event{
 				Type: obs.EvBreaker, Engine: eng.Name(), Session: session,
-				Kind: "open", Query: q.ID,
+				Kind: obs.KindOpen, Query: q.ID,
 			})
 		}
 	}
@@ -350,7 +350,7 @@ func (st *runner) runQuery(ctx context.Context, q *query.Query, sink io.Writer, 
 			return o
 		}
 		rs.Retries++
-		st.sc.Counter("harness.retries").Inc()
+		st.sc.Counter(obs.MHarnessRetries).Inc()
 		st.sc.Record(obs.Event{
 			Type: obs.EvRetry, Engine: st.eng.Name(), Dataset: q.Base,
 			Query: q.ID, Session: st.session, Attempt: attempt, Err: err.Error(),
@@ -384,7 +384,7 @@ func (st *runner) crashed(q *query.Query, err error) bool {
 // bound guarantees convergence); the restart budget guards against a
 // pathological engine that crashes forever.
 func (st *runner) recover(ctx context.Context, rs *RunStats) bool {
-	st.sc.Counter("harness.recoveries").Inc()
+	st.sc.Counter(obs.MHarnessRecoveries).Inc()
 	st.sc.Record(obs.Event{
 		Type: obs.EvRecovery, Engine: st.eng.Name(), Session: st.session,
 		Queries: len(st.lineage),

@@ -418,11 +418,11 @@ func TestResilienceExperimentDeterministic(t *testing.T) {
 		t.Skip("runs full sessions")
 	}
 	env := newTinyEnv(t)
-	first, err := Resilience(env)
+	first, err := Resilience(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Resilience(env)
+	second, err := Resilience(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestMultiUserDegradesUnderFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer env.Close()
-	res, err := MultiUser(env)
+	res, err := MultiUser(context.Background(), env)
 	if err != nil {
 		t.Fatalf("MultiUser aborted instead of degrading: %v", err)
 	}

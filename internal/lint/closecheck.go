@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// osAcquirers are the os functions whose result owns a releasable resource.
+var osAcquirers = map[string]string{
+	"Open":       "Close",
+	"Create":     "Close",
+	"OpenFile":   "Close",
+	"CreateTemp": "Close",
+	"MkdirTemp":  "os.RemoveAll",
+}
+
+// releaseMethods are selector names that count as releasing a resource.
+var releaseMethods = map[string]bool{
+	"Close":   true,
+	"Cleanup": true,
+	"Stop":    true,
+}
+
+// closecheck pairs resource acquisitions with releases: a variable bound to
+// an os.Open/Create/CreateTemp/MkdirTemp result or to an engine
+// constructor (New* in an internal/engine/... package) must, within the
+// same function, either be released (Close/Cleanup/Stop, or os.RemoveAll
+// for temp directories) or escape — returned, stored, or handed to another
+// function, which transfers ownership. Everything else is a leak: engines
+// hold parsed datasets and jq workdirs, so a leaked handle is memory and
+// disk that survives the session.
+//
+// The check is a per-function heuristic, not a path-sensitive escape
+// analysis; deliberate leaks (process-lifetime singletons) take a
+// //lint:ignore closecheck <reason>.
+type closecheck struct{}
+
+// NewClosecheck returns the closecheck analyzer.
+func NewClosecheck() Analyzer { return closecheck{} }
+
+func (closecheck) Name() string { return "closecheck" }
+func (closecheck) Doc() string {
+	return "acquired files, temp dirs and engines must be closed or escape on every path"
+}
+
+func (closecheck) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		inspectFuncs(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+			checkBody(pass, aliases, body)
+		})
+	}
+}
+
+// acquisition is one resource-binding assignment inside a function body.
+type acquisition struct {
+	name string   // the bound variable
+	id   *ast.Ident
+	what string   // human label for the report
+}
+
+func checkBody(pass *Pass, aliases map[string]string, body *ast.BlockStmt) {
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals are checked as their own bodies by
+		// inspectFuncs; collecting their acquisitions here would double-report.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what, ok := acquirerCall(aliases, call)
+		if !ok || len(assign.Lhs) == 0 {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		acqs = append(acqs, acquisition{name: id.Name, id: id, what: what})
+		return true
+	})
+	for _, acq := range acqs {
+		if !releasedOrEscapes(body, acq) {
+			pass.Report(acq.id, "%s bound to %q is neither released (Close/Cleanup/RemoveAll) nor escapes this function", acq.what, acq.name)
+		}
+	}
+}
+
+// acquirerCall reports whether the call acquires a releasable resource,
+// returning a label for diagnostics.
+func acquirerCall(aliases map[string]string, call *ast.CallExpr) (string, bool) {
+	path, name, ok := pkgFuncCall(aliases, call)
+	if !ok {
+		return "", false
+	}
+	if path == "os" {
+		if _, ok := osAcquirers[name]; ok {
+			return "os." + name + " result", true
+		}
+		return "", false
+	}
+	if strings.Contains(path, "internal/engine/") && strings.HasPrefix(name, "New") {
+		return "engine from " + path[strings.LastIndex(path, "/")+1:] + "." + name, true
+	}
+	return "", false
+}
+
+// releasedOrEscapes scans the function body for evidence that the acquired
+// variable is released or leaves the function's ownership: a release-method
+// selector on it, or any bare (non-selector) use — argument position,
+// return statement, composite literal, field assignment — after the
+// acquiring identifier.
+func releasedOrEscapes(body *ast.BlockStmt, acq acquisition) bool {
+	ok := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil || ok {
+			return
+		}
+		if sel, isSel := n.(*ast.SelectorExpr); isSel {
+			if id, isID := sel.X.(*ast.Ident); isID && id.Name == acq.name && id != acq.id {
+				if releaseMethods[sel.Sel.Name] {
+					ok = true
+				}
+				return // a non-release method use is not evidence
+			}
+		}
+		if id, isID := n.(*ast.Ident); isID {
+			if id.Name == acq.name && id != acq.id && id.Pos() > acq.id.Pos() {
+				ok = true // bare use: escapes (or os.RemoveAll-style release)
+			}
+			return
+		}
+		for _, child := range children(n) {
+			walk(child)
+		}
+	}
+	walk(body)
+	return ok
+}
+
+// children lists the direct AST children of a node.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxplumb enforces context plumbing in library code: internal packages
+// must not mint root contexts with context.Background() or context.TODO()
+// — cancellation and observability scopes ride on the context, so a
+// re-rooted context silently detaches a subtree from both. Commands and
+// examples are process roots and may create contexts freely.
+//
+// The "forward the ctx you received" half of the invariant is approximated
+// syntactically: a Background()/TODO() call inside a function that already
+// has a context parameter is reported with a sharper message, since the fix
+// is simply to use the parameter.
+type ctxplumb struct {
+	scope []string
+}
+
+// NewCtxplumb returns the ctxplumb analyzer restricted to packages whose
+// import path contains one of the scope segments (default: "internal/");
+// an empty argument list applies the default, NewCtxplumb("") checks every
+// package (fixtures).
+func NewCtxplumb(scope ...string) Analyzer {
+	if len(scope) == 0 {
+		scope = []string{"internal/"}
+	} else if len(scope) == 1 && scope[0] == "" {
+		scope = nil
+	}
+	return &ctxplumb{scope: scope}
+}
+
+func (c *ctxplumb) Name() string { return "ctxplumb" }
+func (c *ctxplumb) Doc() string {
+	return "internal packages must plumb received contexts, not mint Background/TODO roots"
+}
+
+func (c *ctxplumb) Run(pass *Pass) {
+	if len(c.scope) > 0 && !pathHasAny(pass.Pkg.Path, c.scope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		// Find the alias under which "context" is imported, if at all.
+		ctxAlias := ""
+		for alias, path := range aliases {
+			if path == "context" {
+				ctxAlias = alias
+			}
+		}
+		if ctxAlias == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			hasCtx := funcHasCtxParam(decl, ctxAlias)
+			ast.Inspect(decl.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := pkgFuncCall(aliases, call)
+				if !ok || path != "context" || (name != "Background" && name != "TODO") {
+					return true
+				}
+				if hasCtx {
+					pass.Report(call, "function receives a ctx but mints context.%s(); forward the received ctx", name)
+				} else {
+					pass.Report(call, "context.%s() roots a new context in library code; accept a ctx from the caller", name)
+				}
+				return true
+			})
+			return false // the inner inspect handled the body
+		})
+	}
+}
+
+// funcHasCtxParam reports whether the function declares a parameter of type
+// <ctxAlias>.Context.
+func funcHasCtxParam(decl *ast.FuncDecl, ctxAlias string) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctxAlias {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// errwrap enforces the sentinel-error contract: values following the
+// ErrXxx naming convention (engine.ErrUnknownDataset, faultsim.ErrCrash,
+// ...) travel through wrapped error chains, so they must be tested with
+// errors.Is — never compared with == or != — and must be wrapped into
+// fmt.Errorf with the %w verb, never flattened by %v or %s.
+type errwrap struct{}
+
+// NewErrwrap returns the errwrap analyzer.
+func NewErrwrap() Analyzer { return errwrap{} }
+
+func (errwrap) Name() string { return "errwrap" }
+func (errwrap) Doc() string {
+	return "sentinel errors must be wrapped with %w and tested with errors.Is, never =="
+}
+
+func (errwrap) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				if name, ok := sentinelRef(v.X); ok {
+					pass.Report(v, "comparing sentinel %s with %s survives no wrapping; use errors.Is", name, v.Op)
+				} else if name, ok := sentinelRef(v.Y); ok {
+					pass.Report(v, "comparing sentinel %s with %s survives no wrapping; use errors.Is", name, v.Op)
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } is == in disguise.
+				if v.Body == nil {
+					return true
+				}
+				for _, stmt := range v.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if name, ok := sentinelRef(expr); ok {
+							pass.ReportPos(expr.Pos(), "switch case on sentinel %s survives no wrapping; use errors.Is", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, aliases, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel as an
+// argument without a %w verb in the format string (so the sentinel's
+// identity is lost to errors.Is downstream).
+func checkErrorfWrap(pass *Pass, aliases map[string]string, call *ast.CallExpr) {
+	path, name, ok := pkgFuncCall(aliases, call)
+	if !ok || path != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps := strings.Count(format, "%w")
+	for _, arg := range call.Args[1:] {
+		if sname, ok := sentinelRef(arg); ok && wraps == 0 {
+			pass.Report(arg, "sentinel %s passed to fmt.Errorf without %%w loses its identity; wrap with %%w", sname)
+		}
+	}
+}
+
+// sentinelRef reports whether the expression references a sentinel error by
+// naming convention: an identifier or selector whose name matches ErrXxx.
+// The bare lowercase "err" variable does not match.
+func sentinelRef(expr ast.Expr) (string, bool) {
+	switch v := expr.(type) {
+	case *ast.Ident:
+		if isSentinelName(v.Name) {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isSentinelName(v.Sel.Name) {
+			if id, ok := v.X.(*ast.Ident); ok {
+				return id.Name + "." + v.Sel.Name, true
+			}
+			return v.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func isSentinelName(name string) bool {
+	if !strings.HasPrefix(name, "Err") || len(name) < 4 {
+		return false
+	}
+	c := name[3]
+	return c >= 'A' && c <= 'Z'
+}

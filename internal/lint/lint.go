@@ -1,0 +1,201 @@
+// Package lint is a small static-analysis framework on the standard
+// library's go/ast, go/parser and go/types, purpose-built to machine-check
+// the invariants this repository's correctness story rests on: generated
+// sessions, fault schedules and traces must be byte-deterministic from a
+// seed, sentinel errors must survive wrapping, contexts must be plumbed
+// rather than re-rooted, and the observability vocabulary must stay closed.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis at a
+// distance — an Analyzer runs over one type-checked package at a time and
+// reports position-tagged Diagnostics — but stays stdlib-only, as nothing
+// may be installed into the build image. Findings are suppressible in
+// source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory, so every escape hatch documents itself.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Implementations are stateless; Run is
+// called once per loaded package.
+type Analyzer interface {
+	// Name is the identifier used in reports and //lint:ignore comments.
+	Name() string
+	// Doc is a one-line description of the guarded invariant.
+	Doc() string
+	// Run inspects one package and reports findings through pass.Report.
+	Run(pass *Pass)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Pos is the finding's position ("file:line:col" once formatted).
+	Pos token.Position `json:"-"`
+	// File, Line and Col mirror Pos for the JSON reporter.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message states the violation and the expected idiom.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer. Type information is
+// best-effort: the loader tolerates unresolved imports (see load.go), so
+// analyzers must degrade gracefully when Info has no answer for a node.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Analyzer is the running analyzer (set by the suite).
+	Analyzer Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at the node's position.
+func (p *Pass) Report(node ast.Node, format string, args ...any) {
+	p.ReportPos(node.Pos(), format, args...)
+}
+
+// ReportPos records a finding at an explicit position.
+func (p *Pass) ReportPos(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name(),
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, drops findings suppressed by
+// //lint:ignore comments, and returns the remainder sorted by position (then
+// analyzer, then message) so output is stable across runs — the property the
+// JSON reporter needs to be CI-diffable.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Analyzer: a, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if sup.suppresses(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+		// Malformed ignore comments are findings themselves: a suppression
+		// without a reason (or naming no analyzer) silently rots.
+		diags = append(diags, sup.malformed...)
+	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, analyzer, message.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file     string
+	line     int // the comment's own line
+	analyzer string
+}
+
+type suppressionSet struct {
+	entries   []suppression
+	malformed []Diagnostic
+}
+
+// IgnorePrefix is the suppression comment marker.
+const IgnorePrefix = "//lint:ignore"
+
+// collectSuppressions parses every //lint:ignore comment of the package.
+// The expected form is "//lint:ignore <analyzer> <reason>"; "all" matches
+// every analyzer. A suppression covers findings on its own line and on the
+// line immediately below (so it can sit on its own line above a long
+// statement, staticcheck-style).
+func collectSuppressions(pkg *Package) *suppressionSet {
+	set := &suppressionSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				set.entries = append(set.entries, suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+				})
+			}
+		}
+	}
+	return set
+}
+
+func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	for _, e := range s.entries {
+		if e.file != d.File {
+			continue
+		}
+		if e.analyzer != "all" && e.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Line == e.line || d.Line == e.line+1 {
+			return true
+		}
+	}
+	return false
+}

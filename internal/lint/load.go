@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the package's import path within the module.
+	Path string
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete).
+	Types *types.Package
+	// Info carries whatever type information the error-tolerant check
+	// could establish. Analyzers must treat a missing entry as "unknown",
+	// never as a violation.
+	Info *types.Info
+	// TypeErrors are the (expected) errors of the tolerant check; they
+	// are informational and do not fail a lint run.
+	TypeErrors []error
+}
+
+// Load parses and type-checks the module rooted at root. Test files and
+// testdata directories are excluded: the invariants guard library and
+// command code, and tests legitimately pin wall clocks, compare errors and
+// invent metric names.
+//
+// Type checking is deliberately lenient. Nothing may be installed into the
+// build image, so there is no export data and no x/tools loader; imports
+// outside the module are satisfied by empty placeholder packages, while
+// module-internal imports resolve to the real checked packages (packages
+// are checked in dependency order). The result is full syntax for every
+// file, complete type information for module-internal references, and
+// "unknown" for the standard library — which the analyzers treat
+// conservatively.
+func Load(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	type parsed struct {
+		dir     string
+		path    string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	byPath := make(map[string]*parsed)
+	var order []string
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsed{dir: dir, path: path, imports: make(map[string]bool)}
+		p.files = files
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
+					p.imports[ip] = true
+				}
+			}
+		}
+		byPath[path] = p
+		order = append(order, path)
+	}
+
+	// Check in dependency order so module-internal imports resolve to real
+	// packages. Go forbids import cycles, so a simple DFS suffices.
+	imp := newModImporter()
+	var pkgs []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := byPath[path]
+		if !ok || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = 1
+		deps := make([]string, 0, len(p.imports))
+		for ip := range p.imports {
+			deps = append(deps, ip)
+		}
+		sort.Strings(deps)
+		for _, ip := range deps {
+			if err := visit(ip); err != nil {
+				return err
+			}
+		}
+		pkg := check(fset, p.dir, p.path, p.files, imp)
+		imp.checked[p.path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+		state[path] = 2
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as a standalone package under the given
+// import path — the entry point for analyzer fixture tests, whose testdata
+// packages live outside any module tree.
+func LoadDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return check(fset, dir, path, files, newModImporter()), nil
+}
+
+// check runs the error-tolerant type check over one parsed package.
+func check(fset *token.FileSet, dir, path string, files []*ast.File, imp types.Importer) *Package {
+	pkg := &Package{Dir: dir, Path: path, Fset: fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a useful error beyond what the Error hook saw;
+	// the (possibly incomplete) package is still valuable.
+	pkg.Types, _ = conf.Check(path, fset, files, pkg.Info)
+	return pkg
+}
+
+// modImporter resolves module-internal imports to already-checked packages
+// and everything else (the standard library, since nothing external may be
+// installed) to empty placeholders.
+type modImporter struct {
+	checked map[string]*types.Package
+	fakes   map[string]*types.Package
+}
+
+func newModImporter() *modImporter {
+	return &modImporter{
+		checked: make(map[string]*types.Package),
+		fakes:   make(map[string]*types.Package),
+	}
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok && p != nil {
+		return p, nil
+	}
+	if p, ok := m.fakes[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	// "go-isatty"-style names are not valid identifiers; normalise.
+	name = strings.Map(func(r rune) rune {
+		if r == '-' || r == '.' {
+			return '_'
+		}
+		return r
+	}, name)
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	m.fakes[path] = p
+	return p, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks the tree collecting directories that hold Go files,
+// skipping hidden directories and testdata.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && isLintedFile(e.Name()) {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func isLintedFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// parseDir parses the lintable files of one directory, sorted by name.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isLintedFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// metricMethods are the name-resolving methods of the obs metrics API
+// (Scope and Registry share them); their first argument is a metric name.
+var metricMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Observe":   true,
+}
+
+// vocabEventFields are the obs.Event fields whose values join the closed
+// trace vocabulary: event types and fault/skip/breaker kinds. Downstream
+// consumers join on these strings, so an inline literal is a silent schema
+// fork.
+var vocabEventFields = map[string]bool{
+	"Type": true,
+	"Kind": true,
+}
+
+// obsvocab keeps the observability vocabulary closed: every metric name
+// passed to Counter/Gauge/Histogram/Observe and every Type/Kind of an
+// obs.Event composite literal must come from the constants (or name
+// helpers) of internal/obs/vocab.go, never from an inline string literal.
+// The obs package itself — where the vocabulary lives — is exempt.
+//
+// Methods are matched by name: the lenient loader cannot always type the
+// receiver, and this repository has no unrelated Counter/Gauge/Histogram
+// methods taking a name string. A false positive is suppressible with
+// //lint:ignore obsvocab <reason>.
+type obsvocab struct{}
+
+// NewObsvocab returns the obsvocab analyzer.
+func NewObsvocab() Analyzer { return obsvocab{} }
+
+func (obsvocab) Name() string { return "obsvocab" }
+func (obsvocab) Doc() string {
+	return "metric and trace-event names must come from internal/obs/vocab.go constants"
+}
+
+func (obsvocab) Run(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/obs") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		obsAlias := ""
+		for alias, path := range aliases {
+			if strings.HasSuffix(path, "internal/obs") {
+				obsAlias = alias
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := v.Fun.(*ast.SelectorExpr)
+				if !ok || !metricMethods[sel.Sel.Name] || len(v.Args) == 0 {
+					return true
+				}
+				// Only method calls: a package-level Histogram(...) (e.g.
+				// jsonstats constructors) is not the metrics API.
+				if id, isIdent := sel.X.(*ast.Ident); isIdent {
+					if _, isPkg := aliases[id.Name]; isPkg {
+						return true
+					}
+				}
+				if containsStringLit(v.Args[0]) {
+					pass.Report(v.Args[0], "inline metric name in %s(); use a constant (or name helper) from internal/obs/vocab.go", sel.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				if obsAlias == "" || !isObsEventType(v.Type, obsAlias) {
+					return true
+				}
+				for _, elt := range v.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !vocabEventFields[key.Name] {
+						continue
+					}
+					if containsStringLit(kv.Value) {
+						pass.Report(kv.Value, "inline trace-event %s in obs.Event literal; use an obs.Ev*/obs.Kind* constant", strings.ToLower(key.Name))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isObsEventType reports whether the composite literal's type is
+// <obsAlias>.Event.
+func isObsEventType(t ast.Expr, obsAlias string) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == obsAlias
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/joda-explore/betze/internal/lint"
+)
+
+// TestTreeIsLintClean loads the whole module and runs the default suite —
+// the same check `make lint` performs. The tree must stay clean: a finding
+// here means a new violation of one of the machine-checked invariants (or a
+// missing //lint:ignore with its reason).
+func TestTreeIsLintClean(t *testing.T) {
+	pkgs, err := lint.Load("../..")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load found only %d packages; loader regression?", len(pkgs))
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d finding(s); fix them or add //lint:ignore <analyzer> <reason>", len(diags))
+	}
+}

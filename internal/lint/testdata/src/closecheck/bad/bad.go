@@ -1,0 +1,36 @@
+// Package bad leaks acquired resources.
+package bad
+
+import (
+	"os"
+
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+)
+
+// Leaky opens a file, scans it, and never closes it.
+func Leaky(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// LeakyDir makes a temp dir nothing ever removes.
+func LeakyDir() (string, error) {
+	dir, err := os.MkdirTemp("", "x")
+	if err != nil {
+		return "", err
+	}
+	return "ok", nil
+}
+
+// LeakyEngine builds an engine and abandons it with its parsed datasets.
+func LeakyEngine() string {
+	eng := jodasim.New(jodasim.Options{})
+	return eng.Name()
+}

@@ -1,0 +1,42 @@
+// Package clean releases or hands off every acquired resource.
+package clean
+
+import (
+	"os"
+
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+)
+
+// Sized closes the file on every path.
+func Sized(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Scratch pairs the temp dir with its removal.
+func Scratch() error {
+	dir, err := os.MkdirTemp("", "x")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	return nil
+}
+
+// Build returns the engine: ownership escapes to the caller.
+func Build() *jodasim.Engine {
+	return buildNamed()
+}
+
+func buildNamed() *jodasim.Engine {
+	eng := jodasim.New(jodasim.Options{})
+	return eng
+}

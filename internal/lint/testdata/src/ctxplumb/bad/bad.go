@@ -1,0 +1,20 @@
+// Package bad re-roots contexts in library code.
+package bad
+
+import "context"
+
+// Lookup receives a ctx but mints a fresh root, detaching cancellation
+// and the observability scope.
+func Lookup(ctx context.Context, key string) string {
+	return fetch(context.Background(), key)
+}
+
+// Fetch has no ctx to forward and should accept one.
+func Fetch(key string) string {
+	return fetch(context.TODO(), key)
+}
+
+func fetch(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}

@@ -1,0 +1,16 @@
+// Package clean plumbs received contexts.
+package clean
+
+import "context"
+
+// Lookup forwards the ctx it received, deriving deadlines from it.
+func Lookup(ctx context.Context, key string) string {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(ctx, key)
+}
+
+func fetch(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}

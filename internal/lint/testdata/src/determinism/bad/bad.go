@@ -1,0 +1,40 @@
+// Package bad violates the determinism invariant in every detectable way.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock in a deterministic path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pick uses the ambient global source.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Shuffle uses the global source through another function.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Keys leaks map iteration order into an ordered slice without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump leaks map iteration order into a writer.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,33 @@
+// Package clean satisfies the determinism invariant: seeded randomness,
+// injected timestamps, sorted map iterations, order-free map transforms.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Pick draws from an explicitly seeded source.
+func Pick(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Keys collects then sorts: iteration order cannot leak.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invert is a map-to-map transform; iteration order is immaterial.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package bad breaks the sentinel-error contract.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel.
+var ErrGone = errors.New("bad: gone")
+
+// Check compares a sentinel with ==, which no wrapped chain survives.
+func Check(err error) bool {
+	return err == ErrGone
+}
+
+// CheckNot compares with != through a selector.
+func CheckNot(err error) bool {
+	return errors.ErrUnsupported != err
+}
+
+// Classify switches on the error value, == in disguise.
+func Classify(err error) string {
+	switch err {
+	case ErrGone:
+		return "gone"
+	}
+	return "other"
+}
+
+// Wrap flattens the sentinel with %v instead of wrapping it with %w.
+func Wrap(name string) error {
+	return fmt.Errorf("lookup %q: %v", name, ErrGone)
+}

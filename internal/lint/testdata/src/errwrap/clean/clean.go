@@ -1,0 +1,25 @@
+// Package clean follows the sentinel-error contract.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel.
+var ErrGone = errors.New("clean: gone")
+
+// Check tests through the wrapped chain.
+func Check(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// Wrap preserves the sentinel's identity with %w.
+func Wrap(name string) error {
+	return fmt.Errorf("lookup %q: %w", name, ErrGone)
+}
+
+// NilCheck and plain comparisons of non-sentinel values stay legal.
+func NilCheck(err error) bool {
+	return err == nil
+}

@@ -1,0 +1,18 @@
+// Package bad invents observability names inline.
+package bad
+
+import (
+	"time"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// Run reports metrics and trace events under ad-hoc names.
+func Run(sc obs.Scope, engine string) {
+	sc.Counter("bad.ops").Inc()
+	sc.Gauge("bad.level").Set(1)
+	sc.Observe("bad.latency", time.Second)
+	sc.Counter("engine." + engine + ".ops").Inc()
+	sc.Record(obs.Event{Type: "made_up", Engine: engine})
+	sc.Record(obs.Event{Type: obs.EvSkip, Kind: "novel_kind"})
+}

@@ -1,0 +1,17 @@
+// Package clean draws every observability name from the vocabulary.
+package clean
+
+import (
+	"time"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// Run reports metrics and trace events under vocabulary names.
+func Run(sc obs.Scope, engine string) {
+	sc.Counter(obs.MHarnessSessions).Inc()
+	sc.Observe(obs.MHarnessSession, time.Second)
+	sc.Counter(obs.EngineMetric(engine, obs.EMQueries)).Inc()
+	sc.Record(obs.Event{Type: obs.EvSessionStart, Engine: engine})
+	sc.Record(obs.Event{Type: obs.EvSkip, Kind: obs.KindBreakerOpen})
+}

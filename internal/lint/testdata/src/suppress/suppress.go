@@ -1,0 +1,29 @@
+// Package suppress exercises the //lint:ignore machinery: one suppressed
+// finding on the same line, one suppressed from the line above, one
+// unsuppressed finding, and one malformed ignore comment.
+package suppress
+
+import "time"
+
+// SameLine suppresses on the offending line itself.
+func SameLine() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism fixture exercises same-line suppression
+}
+
+// LineAbove suppresses from the line directly above.
+func LineAbove() int64 {
+	//lint:ignore determinism fixture exercises line-above suppression
+	return time.Now().UnixNano()
+}
+
+// Unsuppressed must still be reported.
+func Unsuppressed() int64 {
+	return time.Now().UnixNano()
+}
+
+// Malformed carries an ignore comment without a reason, which is itself a
+// finding.
+func Malformed() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
