@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos check bench clean
+.PHONY: all build test vet lint race chaos crash check bench clean
 
 all: build
 
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # Machine-checked invariants (DESIGN.md): determinism, sentinel wrapping,
-# context plumbing, the closed observability vocabulary, resource release.
+# context plumbing, the closed observability vocabulary, resource release,
+# atomic artifact publication.
 # Exits non-zero on any finding; suppress with //lint:ignore <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/betze-lint ./...
@@ -33,7 +34,15 @@ chaos:
 	$(GO) test -race -run 'Fault|Resilien|Recovery|Breaker|Retry|Skip|Cancel|Crash|MultiUser' \
 		./internal/faultsim/... ./internal/harness/... ./internal/engine/...
 
-check: vet lint race chaos
+# Durability suite: journal torn-write/bit-flip recovery, atomic publication,
+# session-file corruption, and the SIGKILL-and-resume integration test, all
+# under the race detector.
+crash:
+	$(GO) test -race -run 'Runlog|Journal|Resume|Atomic|Torn|Truncat|Corrupt|RoundTrip|Segment|BitFlip|Oversized|KillAndResume|Replay|WorkKey|SessionFile' \
+		./internal/runlog/... ./internal/fsatomic/... ./internal/harness/... \
+		./internal/core/... ./cmd/betze-bench/...
+
+check: vet lint race chaos crash
 
 # A quick laptop-scale pass over every experiment of the paper.
 bench:

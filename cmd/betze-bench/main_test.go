@@ -1,9 +1,237 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/runlog"
 )
+
+// TestMain doubles as the child process of the kill-and-resume integration
+// test: when re-executed with BETZE_BENCH_CHILD=1 the test binary behaves
+// like the real betze-bench, running the CLI with the args passed through
+// BETZE_BENCH_ARGS (unit-separator-delimited) — the process the test
+// SIGKILLs mid-experiment.
+func TestMain(m *testing.M) {
+	if os.Getenv("BETZE_BENCH_CHILD") == "1" {
+		args := strings.Split(os.Getenv("BETZE_BENCH_ARGS"), "\x1f")
+		if err := run(args, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "betze-bench:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workFlags are the work-shaping flags shared by every run of the
+// integration test: the configuration fingerprint covers exactly these, so
+// baseline, child and resume must agree on them while artifact directories
+// differ per run.
+func workFlags() []string {
+	return []string{
+		"-exp", "table2", "-det-timing",
+		"-twitter-docs", "2500", "-nobench-docs", "1500",
+		"-timeout", "60s",
+	}
+}
+
+// journalSessionCount recovers the journal and tallies session records and
+// their keys (duplicate keys mean completed work was re-executed).
+func journalSessionCount(t *testing.T, dir string) (int, map[string]int) {
+	t.Helper()
+	rec, err := runlog.Recover(dir)
+	if err != nil {
+		t.Fatalf("recovering %s: %v", dir, err)
+	}
+	keys := map[string]int{}
+	n := 0
+	for _, payload := range rec.Records {
+		var jr struct {
+			Type string          `json:"type"`
+			Key  json.RawMessage `json:"key"`
+		}
+		if err := json.Unmarshal(payload, &jr); err != nil {
+			t.Fatalf("bad journal payload %q: %v", payload, err)
+		}
+		if jr.Type == "session" {
+			n++
+			keys[string(jr.Key)]++
+		}
+	}
+	return n, keys
+}
+
+// TestKillAndResume is the acceptance test of the durability layer: run
+// betze-bench as a subprocess, SIGKILL it mid-experiment once the journal
+// holds at least two completed sessions, resume from the journal, and
+// byte-compare the final exports against an uninterrupted run.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs table2 twice and a killed partial run")
+	}
+	baseExport := t.TempDir()
+	baseArgs := append(workFlags(),
+		"-journal", filepath.Join(t.TempDir(), "journal"),
+		"-export-dir", baseExport, "-dir", t.TempDir())
+	if err := run(baseArgs, io.Discard); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	childJournal := filepath.Join(t.TempDir(), "journal")
+	childExport := t.TempDir()
+	childArgs := append(workFlags(),
+		"-journal", childJournal, "-export-dir", childExport, "-dir", t.TempDir())
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BETZE_BENCH_CHILD=1",
+		"BETZE_BENCH_ARGS="+strings.Join(childArgs, "\x1f"))
+	var childOut bytes.Buffer
+	cmd.Stdout = &childOut
+	cmd.Stderr = &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	// Kill as soon as two sessions are durably journaled. Reading a journal
+	// under active writes legitimately sees a torn tail; only completed
+	// records count.
+	deadline := time.After(2 * time.Minute)
+	killed := false
+poll:
+	for {
+		select {
+		case err := <-done:
+			t.Logf("child finished before the kill (%v); resume still must replay it.\n%s", err, childOut.String())
+			break poll
+		case <-deadline:
+			cmd.Process.Kill()
+			<-done
+			t.Fatalf("child never journaled two sessions:\n%s", childOut.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+		if rec, err := runlog.Recover(childJournal); err == nil {
+			sessions := 0
+			for _, payload := range rec.Records {
+				if bytes.Contains(payload, []byte(`"type":"session"`)) {
+					sessions++
+				}
+			}
+			if sessions >= 2 {
+				if err := cmd.Process.Kill(); err != nil {
+					t.Fatalf("kill: %v", err)
+				}
+				<-done
+				killed = true
+				break poll
+			}
+		}
+	}
+	if killed {
+		partial, _ := journalSessionCount(t, childJournal)
+		if partial >= 10 {
+			t.Logf("child completed all %d sessions before dying; kill landed late", partial)
+		} else {
+			t.Logf("killed child after %d of 10 sessions", partial)
+		}
+	}
+
+	resumeArgs := append(workFlags(),
+		"-resume", childJournal, "-export-dir", childExport, "-dir", t.TempDir())
+	var resumeOut bytes.Buffer
+	if err := run(resumeArgs, &resumeOut); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, resumeOut.String())
+	}
+	if !strings.Contains(resumeOut.String(), "resuming: journal holds") {
+		t.Errorf("resume banner missing:\n%s", resumeOut.String())
+	}
+
+	// The resumed exports must be byte-identical to the uninterrupted run.
+	for _, name := range []string{"table2.csv", "table2.json"} {
+		want, err := os.ReadFile(filepath.Join(baseExport, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(childExport, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs after kill+resume:\n--- baseline\n%s\n--- resumed\n%s", name, want, got)
+		}
+	}
+
+	// Every session appears exactly once in the merged journal: completed
+	// work was skipped, not re-executed.
+	total, keys := journalSessionCount(t, childJournal)
+	if total != 10 {
+		t.Errorf("merged journal has %d session records, want 10", total)
+	}
+	for key, n := range keys {
+		if n > 1 {
+			t.Errorf("session %s journaled %d times", key, n)
+		}
+	}
+}
+
+// TestResumeRejectsChangedFlags pins the fingerprint guard: resuming a
+// journal under different work-shaping flags must fail loudly instead of
+// silently mixing incompatible results.
+func TestResumeRejectsChangedFlags(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	args := []string{"-exp", "table1", "-journal", jdir, "-dir", t.TempDir()}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	err := run([]string{"-exp", "table1", "-seed", "999", "-resume", jdir, "-dir", t.TempDir()}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("changed-flags resume: %v", err)
+	}
+	// Unchanged flags resume cleanly and replay the completed experiment.
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-resume", jdir, "-dir", t.TempDir()}, &out); err != nil {
+		t.Fatalf("same-flags resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "replayed from journal") {
+		t.Errorf("completed experiment not replayed:\n%s", out.String())
+	}
+}
+
+func TestJournalAndResumeMutuallyExclusive(t *testing.T) {
+	err := run([]string{"-journal", "a", "-resume", "b"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestJournalRefusesExistingJournal(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	if err := run([]string{"-exp", "table1", "-journal", jdir, "-dir", t.TempDir()}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-exp", "table1", "-journal", jdir, "-dir", t.TempDir()}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Errorf("existing journal accepted: %v", err)
+	}
+}
+
+func TestResumeMissingJournal(t *testing.T) {
+	err := run([]string{"-resume", filepath.Join(t.TempDir(), "nope")}, io.Discard)
+	if err == nil {
+		t.Error("missing journal accepted")
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1000, 10000,100000")

@@ -1,7 +1,8 @@
 // Command betze-lint runs the repository's machine-checked invariants (see
-// DESIGN.md §"Machine-checked invariants") over the module tree: the five
+// DESIGN.md §"Machine-checked invariants") over the module tree: the six
 // internal/lint analyzers guarding determinism, sentinel-error wrapping,
-// context plumbing, the observability vocabulary, and resource release.
+// context plumbing, the observability vocabulary, resource release, and
+// atomic artifact publication.
 //
 // Usage:
 //

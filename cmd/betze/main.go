@@ -35,6 +35,7 @@ import (
 	"github.com/joda-explore/betze/internal/engine/mongosim"
 	"github.com/joda-explore/betze/internal/engine/pgsim"
 	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/fsatomic"
 	"github.com/joda-explore/betze/internal/harness"
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/langs"
@@ -123,15 +124,15 @@ func cmdAnalyze(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*outPath)
+	f, err := fsatomic.Create(*outPath)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	if _, err := stats.WriteTo(f); err != nil {
-		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err := f.Commit(); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "analyzed %d documents (%d paths) in %v -> %s\n",
@@ -240,7 +241,7 @@ func cmdGenerate(args []string, out io.Writer) error {
 	if err := core.WriteSessionFile(filepath.Join(*outDir, "session.json"), session); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(*outDir, "session.dot"), []byte(session.DOT()), 0o644); err != nil {
+	if err := fsatomic.WriteFile(filepath.Join(*outDir, "session.dot"), []byte(session.DOT()), 0o644); err != nil {
 		return err
 	}
 	selected := langs.All()
@@ -270,7 +271,7 @@ func cmdGenerate(args []string, out io.Writer) error {
 			Queries: len(session.Queries), Duration: time.Since(start),
 		})
 		path := filepath.Join(*outDir, "queries."+l.ShortName())
-		if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		if err := fsatomic.WriteFile(path, []byte(script), 0o644); err != nil {
 			return err
 		}
 	}
@@ -366,15 +367,15 @@ func cmdRun(args []string, out io.Writer) error {
 		}
 	}
 	if reg != nil {
-		f, err := os.Create(*metricsPath)
+		f, err := fsatomic.Create(*metricsPath)
 		if err != nil {
 			return fmt.Errorf("run: -metrics-out: %w", err)
 		}
+		defer f.Close()
 		if err := reg.WriteJSON(f); err != nil {
-			f.Close()
 			return fmt.Errorf("run: -metrics-out: %w", err)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return fmt.Errorf("run: -metrics-out: %w", err)
 		}
 	}
@@ -382,8 +383,11 @@ func cmdRun(args []string, out io.Writer) error {
 }
 
 // newTraceRecorder opens path for a JSON-lines trace and returns the
-// recorder plus a close func that surfaces any deferred write error.
+// recorder plus a close func that surfaces any deferred write error. The
+// trace is an append stream whose partial content is the point of a crash
+// investigation, so it is not published atomically.
 func newTraceRecorder(path string) (*obs.Recorder, func() error, error) {
+	//lint:ignore atomicwrite trace is an append stream, partial content is wanted after a crash
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err

@@ -2,10 +2,12 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"github.com/joda-explore/betze/internal/fsatomic"
 	"github.com/joda-explore/betze/internal/query"
 )
 
@@ -66,20 +68,31 @@ func (f *SessionFile) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// WriteSessionFile stores the session under path.
+// ErrCorruptSession reports a session file whose content is truncated,
+// garbage, or structurally inconsistent. Callers match it with errors.Is to
+// distinguish corruption from I/O failures.
+var ErrCorruptSession = errors.New("core: corrupt session file")
+
+// WriteSessionFile stores the session under path, published atomically — a
+// crash mid-write leaves the previous file or none, never a torn one.
 func WriteSessionFile(path string, s *Session) error {
-	out, err := os.Create(path)
+	out, err := fsatomic.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	defer out.Close()
 	if _, err := s.File().WriteTo(out); err != nil {
-		out.Close()
 		return err
 	}
-	return out.Close()
+	if err := out.Commit(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
-// ReadSessionFile loads a session file written by WriteSessionFile.
+// ReadSessionFile loads a session file written by WriteSessionFile. A file
+// that does not decode, or decodes into an inconsistent session, wraps
+// ErrCorruptSession.
 func ReadSessionFile(path string) (*SessionFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -87,7 +100,37 @@ func ReadSessionFile(path string) (*SessionFile, error) {
 	}
 	var f SessionFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("core: decoding session file %s: %w", path, err)
+		return nil, fmt.Errorf("%w: decoding %s: %v", ErrCorruptSession, path, err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptSession, path, err)
 	}
 	return &f, nil
+}
+
+// validate rejects structurally inconsistent session files: a truncated or
+// hand-edited file can decode cleanly yet break every consumer that walks
+// the query list or the dependency graph.
+func (f *SessionFile) validate() error {
+	for i, q := range f.Queries {
+		if q == nil {
+			return fmt.Errorf("query %d is null", i)
+		}
+		if q.ID == "" {
+			return fmt.Errorf("query %d has no id", i)
+		}
+	}
+	ids := make(map[int]bool, len(f.Nodes))
+	for i, n := range f.Nodes {
+		if ids[n.ID] {
+			return fmt.Errorf("node %d duplicates id %d", i, n.ID)
+		}
+		ids[n.ID] = true
+	}
+	for i, n := range f.Nodes {
+		if n.Parent != -1 && !ids[n.Parent] {
+			return fmt.Errorf("node %d references missing parent %d", i, n.Parent)
+		}
+	}
+	return nil
 }

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 
+	"github.com/joda-explore/betze/internal/fsatomic"
 	"github.com/joda-explore/betze/internal/jsonval"
 )
 
@@ -53,17 +53,21 @@ func (s Source) WriteTo(w io.Writer, n int, seed int64) error {
 	return bw.Flush()
 }
 
-// WriteFile streams n documents into a newline-delimited JSON file.
+// WriteFile streams n documents into a newline-delimited JSON file,
+// published atomically — readers never observe a partially written dataset.
 func (s Source) WriteFile(path string, n int, seed int64) error {
-	f, err := os.Create(path)
+	f, err := fsatomic.Create(path)
 	if err != nil {
 		return fmt.Errorf("datasets: %w", err)
 	}
+	defer f.Close()
 	if err := s.WriteTo(f, n, seed); err != nil {
-		f.Close()
 		return fmt.Errorf("datasets: writing %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Commit(); err != nil {
+		return fmt.Errorf("datasets: %w", err)
+	}
+	return nil
 }
 
 // m is shorthand for building object members.

@@ -1,0 +1,130 @@
+// Package fsatomic publishes output artifacts atomically: content is
+// staged in a hidden temporary file in the destination directory, fsync'd,
+// and renamed over the final path. A crash at any point leaves either the
+// previous artifact or no artifact — never a torn one. Every result file
+// this repository ships (exports, session files, datasets, metrics
+// snapshots, translated scripts) goes through this package; the atomicwrite
+// analyzer in internal/lint enforces it.
+//
+// Append streams whose partial content is valuable after a crash — trace
+// logs, the runlog write-ahead journal — are the deliberate exception:
+// rename-on-close would lose exactly the bytes a crash investigation needs.
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File stages writes for one destination path. Write into it, then either
+// Commit (fsync + atomic rename into place) or Close (discard the staged
+// content). Close after Commit is a no-op, so `defer f.Close()` composes
+// with an explicit Commit on the success path.
+type File struct {
+	f         *os.File
+	path      string // final destination
+	tmp       string // staging file, same directory
+	perm      os.FileMode
+	committed bool
+	closed    bool
+}
+
+// Create stages a new artifact for path with default permissions 0o644.
+func Create(path string) (*File, error) {
+	return CreateMode(path, 0o644)
+}
+
+// CreateMode stages a new artifact for path with the given final mode.
+func CreateMode(path string, perm os.FileMode) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("fsatomic: staging %s: %w", path, err)
+	}
+	return &File{f: tmp, path: path, tmp: tmp.Name(), perm: perm}, nil
+}
+
+// Write appends to the staged content.
+func (w *File) Write(p []byte) (int, error) {
+	return w.f.Write(p)
+}
+
+// Commit durably publishes the staged content under the destination path:
+// fsync the staging file, fix its mode, rename it into place, and fsync the
+// directory so the rename itself survives a crash.
+func (w *File) Commit() error {
+	if w.committed {
+		return nil
+	}
+	if w.closed {
+		return fmt.Errorf("fsatomic: commit of %s after close", w.path)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return fmt.Errorf("fsatomic: syncing %s: %w", w.path, err)
+	}
+	if err := w.f.Chmod(w.perm); err != nil {
+		w.abort()
+		return fmt.Errorf("fsatomic: chmod %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.closed = true
+		os.Remove(w.tmp)
+		return fmt.Errorf("fsatomic: closing staged %s: %w", w.path, err)
+	}
+	w.closed = true
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("fsatomic: publishing %s: %w", w.path, err)
+	}
+	w.committed = true
+	return syncDir(filepath.Dir(w.path))
+}
+
+// Close discards the staged content unless Commit already published it.
+func (w *File) Close() error {
+	if w.committed || w.closed {
+		return nil
+	}
+	w.abort()
+	return nil
+}
+
+func (w *File) abort() {
+	w.f.Close()
+	w.closed = true
+	os.Remove(w.tmp)
+}
+
+// WriteFile atomically replaces path with data, the os.WriteFile of this
+// package.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := CreateMode(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("fsatomic: writing %s: %w", path, err)
+	}
+	return f.Commit()
+}
+
+// SyncDir fsyncs a directory, making recent creates/renames inside it
+// durable. Errors from platforms that refuse directory fsync are ignored —
+// the rename itself is still atomic, only its durability window widens.
+func SyncDir(dir string) error { return syncDir(dir) }
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsatomic: opening dir %s: %w", dir, err)
+	}
+	// Directory fsync is best-effort (EINVAL on some filesystems).
+	d.Sync()
+	return d.Close()
+}

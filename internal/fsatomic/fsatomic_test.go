@@ -1,0 +1,109 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, []byte("old\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new\n" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Errorf("mode = %o, want 644", got)
+	}
+	leftoverCheck(t, dir, "out.csv")
+}
+
+func TestCloseWithoutCommitDiscards(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-written")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("aborted artifact was published: %v", err)
+	}
+	leftoverCheck(t, dir, "artifact.json")
+}
+
+func TestCommitThenCloseIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close after Commit: %v", err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Errorf("second Commit: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+}
+
+func TestCommitAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Error("Commit after Close succeeded")
+	}
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Error("Create in missing directory succeeded")
+	}
+}
+
+// leftoverCheck asserts no staging files survived in dir.
+func leftoverCheck(t *testing.T, dir, base string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "."+base+".tmp-") {
+			t.Errorf("staging file %s left behind", e.Name())
+		}
+	}
+}

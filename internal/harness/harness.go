@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/joda-explore/betze/internal/analyze"
@@ -24,6 +25,7 @@ import (
 	"github.com/joda-explore/betze/internal/engine/mongosim"
 	"github.com/joda-explore/betze/internal/engine/pgsim"
 	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/fsatomic"
 	"github.com/joda-explore/betze/internal/jsonstats"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/obs"
@@ -72,6 +74,12 @@ type Config struct {
 	// Retry configures the resilient executor. The zero value executes
 	// every operation exactly once with no breaker.
 	Retry RetryPolicy
+	// DetTiming replaces measured wall-clock durations with deterministic
+	// functions of each operation's work counters (documents imported,
+	// scanned, returned). Two runs of the same configuration then render
+	// byte-identical results — the property the kill-and-resume tests
+	// assert, and a useful mode for diffing exports across machines.
+	DetTiming bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +142,15 @@ type Env struct {
 	dir     string
 	ownsDir bool
 	sets    map[string]*datasetEnv
+
+	// Checkpointing state (see checkpoint.go): the write-ahead run journal,
+	// the replay of a prior interrupted run, and the work-key assignment for
+	// the experiment currently executing under RunExperiment.
+	journal       *RunJournal
+	replay        *Replay
+	keyMu         sync.Mutex
+	curExperiment string
+	occurrences   map[workIdentity]int
 }
 
 // datasetEnv is one materialised dataset.
@@ -210,20 +227,23 @@ func (e *Env) dataset(key string, src datasets.Source, n int, seed int64) (*data
 }
 
 func writeDocs(path string, docs []jsonval.Value) error {
-	f, err := os.Create(path)
+	f, err := fsatomic.Create(path)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}
+	defer f.Close()
 	var buf []byte
 	for _, d := range docs {
 		buf = jsonval.AppendJSON(buf[:0], d)
 		buf = append(buf, '\n')
 		if _, err := f.Write(buf); err != nil {
-			f.Close()
 			return fmt.Errorf("harness: %w", err)
 		}
 	}
-	return f.Close()
+	if err := f.Commit(); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	return nil
 }
 
 // Twitter returns the Twitter-like dataset environment.
@@ -350,6 +370,30 @@ func (e *Env) runSession(ctx context.Context, spec engineSpec, ds *datasetEnv, s
 // runSessionWith is runSession with explicit fault and retry options, so
 // the resilience experiment can sweep them against one Env.
 func (e *Env) runSessionWith(ctx context.Context, spec engineSpec, ds *datasetEnv, s *core.Session, faults faultsim.Options, retry RetryPolicy) SessionResult {
+	// Under checkpointing every session gets a deterministic work key; a
+	// resumed run returns the journaled result of a completed key instead
+	// of re-executing, and journals every key it does execute.
+	key, tracked := e.nextKey(spec.name, ds.name, s.Seed)
+	if tracked {
+		if prev, ok := e.replay.SessionResult(key); ok {
+			e.Cfg.Obs.Record(obs.Event{
+				Type: obs.EvResumeSkip, Kind: obs.KindSession, Engine: key.Engine,
+				Dataset: key.Dataset, Session: key.String(),
+			})
+			e.Cfg.Obs.Counter(obs.MHarnessResumeSkips).Inc()
+			return prev
+		}
+	}
+	res := e.execSession(ctx, spec, ds, s, faults, retry)
+	if tracked {
+		e.journal.Session(key, res)
+	}
+	return res
+}
+
+// execSession is the execution body of runSessionWith, below the
+// checkpoint/replay layer.
+func (e *Env) execSession(ctx context.Context, spec engineSpec, ds *datasetEnv, s *core.Session, faults faultsim.Options, retry RetryPolicy) SessionResult {
 	res := SessionResult{Engine: spec.name}
 	eng, err := spec.make(e.dir)
 	if err != nil {
@@ -396,12 +440,19 @@ func (e *Env) runSessionWith(ctx context.Context, spec engineSpec, ds *datasetEn
 		res.ImportErr = err
 		return res
 	}
+	if e.Cfg.DetTiming {
+		imp.Duration = detImportDuration(imp)
+	}
 	res.Import = imp
 	outcomes, rs := RunQueries(ctx, eng, s.Queries, retry, io.Discard, label)
 	for _, o := range outcomes {
 		if o.Err == nil {
-			res.QueryTimes = append(res.QueryTimes, o.Stats.Duration)
-			res.Total += o.Stats.Duration
+			d := o.Stats.Duration
+			if e.Cfg.DetTiming {
+				d = detQueryDuration(o.Stats)
+			}
+			res.QueryTimes = append(res.QueryTimes, d)
+			res.Total += d
 		}
 	}
 	res.TimedOut = rs.TimedOut

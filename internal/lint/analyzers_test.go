@@ -39,8 +39,9 @@ func TestAnalyzerGolden(t *testing.T) {
 		name     string
 		analyzer lint.Analyzer
 	}{
-		// Fixture-wide scopes: determinism with an empty scope and
-		// ctxplumb with "" check every package, not just the repo paths.
+		// Fixture-wide scopes: determinism/atomicwrite with an empty scope
+		// and ctxplumb with "" check every package, not just the repo paths.
+		{"atomicwrite", lint.NewAtomicwrite()},
 		{"determinism", lint.NewDeterminism()},
 		{"errwrap", lint.NewErrwrap()},
 		{"ctxplumb", lint.NewCtxplumb("")},

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicWriteScope are the import-path segments of the packages that publish
+// benchmark artifacts — exports, metrics, datasets, session files. A crash
+// between a plain os.Create and the final write leaves a torn file that the
+// resume machinery would then trust; these packages must stage through
+// internal/fsatomic instead. The match is by substring, so "cmd/betze"
+// covers cmd/betze-bench as well.
+var AtomicWriteScope = []string{
+	"cmd/betze",
+	"internal/harness",
+	"internal/datasets",
+	"internal/core",
+}
+
+// atomicFileFuncs are the os functions that create or replace a file in
+// place, visible to readers before the content is complete.
+var atomicFileFuncs = map[string]bool{
+	"Create":    true,
+	"WriteFile": true,
+}
+
+// atomicwrite flags direct os.Create / os.WriteFile calls in the
+// artifact-publishing packages: output files must go through
+// internal/fsatomic (write-temp, fsync, rename) so a crash never publishes
+// a torn artifact. Append streams that want partial content after a crash
+// (the trace recorders) carry //lint:ignore atomicwrite suppressions.
+type atomicwrite struct {
+	scope []string
+}
+
+// NewAtomicwrite returns the atomicwrite analyzer restricted to packages
+// whose import path contains one of the scope segments; an empty scope
+// checks every package (used by fixture tests).
+func NewAtomicwrite(scope ...string) Analyzer { return &atomicwrite{scope: scope} }
+
+func (a *atomicwrite) Name() string { return "atomicwrite" }
+func (a *atomicwrite) Doc() string {
+	return "artifact-publishing packages must write files through internal/fsatomic"
+}
+
+func (a *atomicwrite) Run(pass *Pass) {
+	if len(a.scope) > 0 && !pathHasAny(pass.Pkg.Path, a.scope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(aliases, call)
+			if !ok || path != "os" || !atomicFileFuncs[name] {
+				return true
+			}
+			pass.Report(call, "os.%s publishes a file non-atomically; use internal/fsatomic (or //lint:ignore atomicwrite for append streams)", name)
+			return true
+		})
+	}
+}

@@ -1,10 +1,11 @@
 package lint
 
 // Analyzers returns the default suite with the repository's scopes applied:
-// the five machine-checked invariants of DESIGN.md §"Machine-checked
+// the machine-checked invariants of DESIGN.md §"Machine-checked
 // invariants", in report order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
+		NewAtomicwrite(AtomicWriteScope...),
 		NewClosecheck(),
 		NewCtxplumb(),
 		NewDeterminism(DeterminismScope...),

@@ -1,0 +1,33 @@
+// Package bad publishes artifacts with torn-write-prone os calls.
+package bad
+
+import (
+	"fmt"
+	"os"
+)
+
+// Export writes a result file directly; a crash mid-write leaves a torn
+// artifact under the final name.
+func Export(path string, rows []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range rows {
+		fmt.Fprintln(f, r)
+	}
+	return f.Close()
+}
+
+// Dump is the one-shot variant with the same flaw.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Trace appends to a log stream where partial content after a crash is
+// wanted; the suppression must silence the finding.
+func Trace(path string) (*os.File, error) {
+	//lint:ignore atomicwrite trace is an append stream
+	return os.Create(path)
+}

@@ -1,0 +1,23 @@
+// Package clean publishes artifacts through the atomic staging layer.
+package clean
+
+import (
+	"os"
+
+	"github.com/joda-explore/betze/internal/fsatomic"
+)
+
+// Export stages the file and publishes it with a rename.
+func Export(path string, data []byte) error {
+	return fsatomic.WriteFile(path, data, 0o644)
+}
+
+// Read-side os calls are fine; only file creation is publication.
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Mkdir and friends are not file publication either.
+func Prepare(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}

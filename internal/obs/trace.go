@@ -51,6 +51,16 @@ const (
 	// EvRecovery records a crash recovery replaying the stored-dataset
 	// lineage; Queries is the lineage length.
 	EvRecovery = "recovery"
+	// EvCheckpoint records a completed work unit appended to the run
+	// journal; Kind is the unit granularity ("experiment", "session").
+	EvCheckpoint = "checkpoint"
+	// EvResumeSkip records a work unit skipped on resume because the
+	// journal already holds its result; Kind is the unit granularity.
+	EvResumeSkip = "resume_skip"
+	// EvJournalRecover records replaying a run journal; Records is the
+	// record count and Err the truncation reason when a torn tail was
+	// dropped.
+	EvJournalRecover = "journal_recover"
 )
 
 // Event is one structured trace record. Zero-valued fields are omitted from
@@ -86,6 +96,8 @@ type Event struct {
 	Returned int64 `json:"returned,omitempty"`
 	// Queries is the session's query count on session_start.
 	Queries int `json:"queries,omitempty"`
+	// Records is the record count of a journal_recover event.
+	Records int64 `json:"records,omitempty"`
 
 	Duration time.Duration `json:"dur_ns,omitempty"`
 	TimedOut bool          `json:"timed_out,omitempty"`

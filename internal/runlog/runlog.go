@@ -1,0 +1,409 @@
+// Package runlog is an append-only, crash-safe write-ahead run journal.
+// A journal is a directory of segments; each segment is a sequence of
+// length-prefixed, checksummed records:
+//
+//	u32le payload length | u32le CRC-32C of payload | payload bytes
+//
+// The writer appends to the active segment ("current.wal") and fsyncs on
+// Sync (the harness syncs after every work-unit record, so a completed
+// session is durable before the next one starts). When the active segment
+// outgrows Options.SegmentBytes it is sealed by an atomic rename to
+// "NNNNNN.wal" — readers never observe a half-sealed segment.
+//
+// Recovery reads sealed segments in order, then the active one, and
+// truncates at the first torn or checksum-corrupt record instead of
+// failing: a crash mid-append loses at most the record being written,
+// exactly the write-ahead-log contract storage engines provide. Re-opening
+// a recovered journal for append physically truncates the torn tail first,
+// so the next record lands on a clean boundary.
+package runlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sentinel errors of the journal format. Readers wrap them with positional
+// context; callers branch with errors.Is.
+var (
+	// ErrCorrupt marks a record whose payload fails its checksum.
+	ErrCorrupt = errors.New("runlog: corrupt record")
+	// ErrTorn marks a record cut short by a crash: a partial header or a
+	// payload shorter than its length prefix.
+	ErrTorn = errors.New("runlog: torn record")
+	// ErrTooLarge marks a length prefix beyond MaxRecord — indistinguishable
+	// from garbage, so recovery treats it as corruption.
+	ErrTooLarge = errors.New("runlog: record length exceeds bound")
+	// ErrExists is returned by Create when the directory already holds a
+	// journal (resume it instead of silently overwriting).
+	ErrExists = errors.New("runlog: journal already exists")
+	// ErrNoJournal is returned by Open/Recover when the directory holds no
+	// journal segments.
+	ErrNoJournal = errors.New("runlog: no journal")
+)
+
+// MaxRecord bounds one record's payload; larger length prefixes are read as
+// corruption, which keeps a flipped length byte from swallowing the rest of
+// the segment as one giant bogus record.
+const MaxRecord = 16 << 20
+
+const (
+	headerSize    = 8 // u32 length + u32 crc
+	activeSegment = "current.wal"
+	sealedSuffix  = ".wal"
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes the writer.
+type Options struct {
+	// SegmentBytes seals the active segment once it grows past this size
+	// (default 8 MiB). Sealing is an atomic rename.
+	SegmentBytes int64
+	// NoSync skips fsync (tests only; production callers want the
+	// durability they came for).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Writer appends records to a journal directory.
+type Writer struct {
+	dir       string
+	opts      Options
+	f         *os.File
+	size      int64
+	nextSeal  int
+	appends   int64
+	rotations int64
+}
+
+// Create initialises a fresh journal in dir (created if missing). It
+// refuses a directory that already holds journal segments: resuming and
+// starting over are different intents, and overwriting a journal silently
+// would destroy the recovery data it exists to provide.
+func Create(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	segs, active, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 || active {
+		return nil, fmt.Errorf("%w in %s", ErrExists, dir)
+	}
+	return newWriter(dir, opts, 1)
+}
+
+// Open re-opens an existing journal for append. The active segment's torn
+// tail (if any) is physically truncated to the last complete record, so
+// appended records always start on a clean boundary. Callers wanting the
+// surviving records run Recover first.
+func Open(dir string, opts Options) (*Writer, error) {
+	segs, active, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 && !active {
+		return nil, fmt.Errorf("%w in %s", ErrNoJournal, dir)
+	}
+	opts = opts.withDefaults()
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].index + 1
+	}
+	if !active {
+		return newWriter(dir, opts, next)
+	}
+	w := &Writer{dir: dir, opts: opts, nextSeal: next}
+	path := filepath.Join(dir, activeSegment)
+	// Scan the active segment for its last clean boundary and cut the tail.
+	good, _, _, err := scanSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runlog: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	w.f = f
+	w.size = good
+	return w, nil
+}
+
+func newWriter(dir string, opts Options, nextSeal int) (*Writer, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(filepath.Join(dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	if err := syncDir(dir, opts); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{dir: dir, opts: opts, f: f, nextSeal: nextSeal}, nil
+}
+
+// Append writes one record to the active segment (buffered by the OS until
+// Sync). Rotation happens before the write, so a record is never split
+// across segments.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if w.size > 0 && w.size+int64(headerSize+len(payload)) > w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	w.size += int64(headerSize + len(payload))
+	w.appends++
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (w *Writer) Sync() error {
+	if w.opts.NoSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	return nil
+}
+
+// AppendSync appends one record and fsyncs — the per-work-unit durability
+// point of the harness.
+func (w *Writer) AppendSync(payload []byte) error {
+	if err := w.Append(payload); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// rotate seals the active segment under the next index via atomic rename
+// and starts a fresh one.
+func (w *Writer) rotate() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	sealed := filepath.Join(w.dir, fmt.Sprintf("%06d%s", w.nextSeal, sealedSuffix))
+	if err := os.Rename(filepath.Join(w.dir, activeSegment), sealed); err != nil {
+		return fmt.Errorf("runlog: sealing segment: %w", err)
+	}
+	if err := syncDir(w.dir, w.opts); err != nil {
+		return err
+	}
+	w.nextSeal++
+	w.rotations++
+	f, err := os.OpenFile(filepath.Join(w.dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return syncDir(w.dir, w.opts)
+}
+
+// Stats reports writer-side accounting.
+func (w *Writer) Stats() (appends, rotations int64) { return w.appends, w.rotations }
+
+// Close syncs and closes the active segment.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	return nil
+}
+
+// Recovery is the result of replaying a journal directory.
+type Recovery struct {
+	// Records are the intact payloads, in append order.
+	Records [][]byte
+	// Truncated reports that a torn or corrupt record cut the replay short;
+	// Records holds everything before it.
+	Truncated bool
+	// Reason wraps ErrTorn/ErrCorrupt/ErrTooLarge with position context when
+	// Truncated is set.
+	Reason error
+	// Segment and Offset locate the first bad record when Truncated.
+	Segment string
+	Offset  int64
+}
+
+// Recover replays every intact record of the journal in dir. Torn and
+// corrupt records do not fail the recovery — replay stops at the first one
+// (dropping it and everything after, the write-ahead-log truncation rule)
+// and the Recovery reports where and why. Only I/O errors and a missing
+// journal are returned as errors.
+func Recover(dir string) (*Recovery, error) {
+	segs, active, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 && !active {
+		return nil, fmt.Errorf("%w in %s", ErrNoJournal, dir)
+	}
+	rec := &Recovery{}
+	paths := make([]string, 0, len(segs)+1)
+	for _, s := range segs {
+		paths = append(paths, filepath.Join(dir, s.name))
+	}
+	if active {
+		paths = append(paths, filepath.Join(dir, activeSegment))
+	}
+	for _, path := range paths {
+		_, records, reason, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		rec.Records = append(rec.Records, records...)
+		if reason != nil {
+			rec.Truncated = true
+			rec.Reason = reason
+			rec.Segment = path
+			var off int64
+			for _, r := range records {
+				off += int64(headerSize + len(r))
+			}
+			rec.Offset = off
+			break // everything after the first bad record is unreachable
+		}
+	}
+	return rec, nil
+}
+
+// scanSegment reads one segment file, returning the byte offset of the last
+// clean record boundary, the intact payloads, and the wrapped sentinel that
+// stopped the scan (nil when the segment ends exactly on a boundary). I/O
+// failures are reported separately — they mean the journal is unreadable,
+// not merely torn.
+func scanSegment(path string) (good int64, records [][]byte, reason, ioErr error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("runlog: reading %s: %w", path, err)
+	}
+	off := int64(0)
+	for int64(len(data))-off > 0 {
+		rest := data[off:]
+		if len(rest) < headerSize {
+			return off, records, fmt.Errorf("%w: %d trailing header byte(s) at %s:%d", ErrTorn, len(rest), filepath.Base(path), off), nil
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecord {
+			return off, records, fmt.Errorf("%w: length %d at %s:%d", ErrTooLarge, n, filepath.Base(path), off), nil
+		}
+		if int64(len(rest)) < headerSize+int64(n) {
+			return off, records, fmt.Errorf("%w: payload cut at %d of %d bytes at %s:%d", ErrTorn, len(rest)-headerSize, n, filepath.Base(path), off), nil
+		}
+		payload := rest[headerSize : headerSize+int64(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, records, fmt.Errorf("%w: checksum mismatch at %s:%d", ErrCorrupt, filepath.Base(path), off), nil
+		}
+		// Copy: data is one big read buffer; callers keep payloads around.
+		rec := make([]byte, n)
+		copy(rec, payload)
+		records = append(records, rec)
+		off += headerSize + int64(n)
+	}
+	return off, records, nil, nil
+}
+
+// segment is one sealed segment file.
+type segment struct {
+	name  string
+	index int
+}
+
+// listSegments enumerates sealed segments (sorted by index) and whether an
+// active segment exists. A missing directory is reported as no journal.
+func listSegments(dir string) ([]segment, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("runlog: %w", err)
+	}
+	var segs []segment
+	active := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if name == activeSegment {
+			active = true
+			continue
+		}
+		idx, ok := strings.CutSuffix(name, sealedSuffix)
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(idx)
+		if err != nil || n <= 0 {
+			continue
+		}
+		segs = append(segs, segment{name: name, index: n})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, active, nil
+}
+
+// syncDir makes directory-level changes (segment create, seal rename)
+// durable; best-effort on filesystems refusing directory fsync.
+func syncDir(dir string, opts Options) error {
+	if opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	d.Sync()
+	return d.Close()
+}
