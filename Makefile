@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos crash check bench clean
+.PHONY: all build test vet lint race chaos crash check bench bench-short bench-paper clean
 
 all: build
 
@@ -42,10 +42,21 @@ crash:
 		./internal/runlog/... ./internal/fsatomic/... ./internal/harness/... \
 		./internal/core/... ./cmd/betze-bench/...
 
-check: vet lint race chaos crash
+check: vet lint race chaos crash bench-short
+
+# Perf suite: compiled predicates vs. the interface-dispatch path plus the
+# shared scan kernel, on a seeded workload. Refreshes the tracked
+# BENCH_5.json (the repo's perf trajectory; see README).
+bench:
+	$(GO) run ./cmd/betze-bench -perf -perf-out BENCH_5.json
+
+# Short perf pass for `make check`: same suite with fewer repeats, stdout
+# only — the tracked artifact is not overwritten.
+bench-short:
+	$(GO) run ./cmd/betze-bench -perf -perf-repeats 2
 
 # A quick laptop-scale pass over every experiment of the paper.
-bench:
+bench-paper:
 	$(GO) run ./cmd/betze-bench -exp all
 
 clean:

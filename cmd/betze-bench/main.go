@@ -82,8 +82,15 @@ func run(args []string, out io.Writer) error {
 	journalDir := fs.String("journal", "", "write a crash-safe run journal to this directory (must not already hold one)")
 	resumeDir := fs.String("resume", "", "resume from the run journal in this directory, skipping completed work")
 	fs.BoolVar(&cfg.DetTiming, "det-timing", false, "replace measured durations with deterministic work-counter timings")
+	perf := fs.Bool("perf", false, "run the perf suite (compiled predicates + scan kernel) instead of the paper experiments")
+	perfOut := fs.String("perf-out", "", "write the perf report (BENCH_*.json format) atomically to this file")
+	perfDocs := fs.Int("perf-docs", 0, "perf suite document count (default 800)")
+	perfRepeats := fs.Int("perf-repeats", 0, "perf suite passes per measurement, fastest wins (default 5)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perf {
+		return runPerf(perfOptions{Docs: *perfDocs, Repeats: *perfRepeats, Seed: cfg.Seed, Out: *perfOut}, out)
 	}
 
 	var err error

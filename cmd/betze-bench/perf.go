@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"github.com/joda-explore/betze/internal/datasets"
+	"github.com/joda-explore/betze/internal/engine/scan"
+	"github.com/joda-explore/betze/internal/fsatomic"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// The -perf mode: a seeded, reproducible perf suite for the compiled-query
+// execution layer and the shared scan kernel. Unlike the paper experiments
+// (-exp), which measure the modelled engines against each other, this suite
+// measures the repository's own hot path against its fallback — compiled
+// predicate closures vs. the interface-dispatch evaluator — so performance
+// PRs leave a tracked trajectory (BENCH_<pr>.json) instead of an assertion
+// in a commit message.
+
+// perfOptions configures one perf-suite run.
+type perfOptions struct {
+	Docs    int
+	Repeats int
+	Seed    int64
+	Out     string // JSON report destination; empty writes no artifact
+}
+
+// perfResult is one measured operation.
+type perfResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int64   `json:"ops"`
+}
+
+// perfReport is the BENCH_*.json schema: one file per perf PR, so the
+// checked-in sequence BENCH_5.json, BENCH_<n>.json, … forms the perf
+// trajectory of the repository.
+type perfReport struct {
+	Bench      int                `json:"bench"`
+	Suite      string             `json:"suite"`
+	GoVersion  string             `json:"go_version"`
+	CPUs       int                `json:"cpus"`
+	Seed       int64              `json:"seed"`
+	Docs       int                `json:"docs"`
+	Predicates int                `json:"predicates"`
+	Repeats    int                `json:"repeats"`
+	Results    []perfResult       `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// perfPredicates builds the seeded predicate-heavy workload: AND/OR trees
+// over real Twitter-dataset paths mixing cheap existence/type checks with
+// string and numeric work — the shape the compiler's cost model reorders.
+func perfPredicates(seed int64, n int) []query.Predicate {
+	r := rand.New(rand.NewSource(seed))
+	leaves := []func() query.Predicate{
+		func() query.Predicate { return query.Exists{Path: "/retweeted_status"} },
+		func() query.Predicate { return query.Exists{Path: "/user/time_zone"} },
+		func() query.Predicate { return query.Exists{Path: "/place/country_code"} },
+		func() query.Predicate { return query.IsString{Path: "/user/lang"} },
+		func() query.Predicate { return query.BoolEq{Path: "/user/verified", Value: true} },
+		func() query.Predicate { return query.BoolEq{Path: "/truncated", Value: r.Intn(2) == 0} },
+		func() query.Predicate {
+			return query.FloatCmp{Path: "/user/followers_count", Op: query.Ge, Value: float64(r.Intn(500000))}
+		},
+		func() query.Predicate {
+			return query.FloatCmp{Path: "/retweet_count", Op: query.Lt, Value: float64(r.Intn(10000))}
+		},
+		func() query.Predicate { return query.IntEq{Path: "/favorite_count", Value: int64(r.Intn(50000))} },
+		func() query.Predicate {
+			langs := []string{"en", "de", "ja", "es", "pt"}
+			return query.StrEq{Path: "/user/lang", Value: langs[r.Intn(len(langs))]}
+		},
+		func() query.Predicate {
+			prefixes := []string{"soc", "foot", "wa", "to", "gr"}
+			return query.HasPrefix{Path: "/user/screen_name", Prefix: prefixes[r.Intn(len(prefixes))]}
+		},
+		func() query.Predicate { return query.HasPrefix{Path: "/text", Prefix: "RT"} },
+		func() query.Predicate { return query.ObjSize{Path: "/user", Op: query.Ge, Value: 20 + r.Intn(10)} },
+	}
+	var tree func(depth int) query.Predicate
+	tree = func(depth int) query.Predicate {
+		if depth <= 0 {
+			return leaves[r.Intn(len(leaves))]()
+		}
+		l, rr := tree(depth-1), tree(depth-1)
+		if r.Intn(2) == 0 {
+			return query.And{Left: l, Right: rr}
+		}
+		return query.Or{Left: l, Right: rr}
+	}
+	preds := make([]query.Predicate, n)
+	for i := range preds {
+		preds[i] = tree(4) // 16 leaves per tree: predicate-heavy
+	}
+	return preds
+}
+
+// perfMeasure runs op repeats times and keeps the fastest pass, the usual
+// defence against scheduler noise on a shared machine.
+func perfMeasure(repeats int, op func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < repeats; i++ {
+		if d := timeOp(op); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func timeOp(op func()) time.Duration {
+	start := time.Now()
+	op()
+	return time.Since(start)
+}
+
+func nsPerOp(d time.Duration, ops int64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(ops)
+}
+
+// runPerf executes the perf suite and optionally publishes the report.
+func runPerf(opts perfOptions, out io.Writer) error {
+	if opts.Docs <= 0 {
+		// Default to a cache-resident corpus: the suite measures the compute
+		// cost of the per-document hot path, and with a corpus much larger
+		// than the last-level cache both variants converge on the same DRAM
+		// streaming cost and the measurement stops discriminating. Larger
+		// corpora are a -perf-docs flag away and recorded in the report.
+		opts.Docs = 800
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 5
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 123
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	const predCount = 16
+	docs := datasets.NewTwitter().Generate(opts.Docs, opts.Seed)
+	preds := perfPredicates(opts.Seed, predCount)
+	compiled := make([]query.CompiledPredicate, len(preds))
+	for i, p := range preds {
+		compiled[i] = query.Compile(p)
+	}
+	scanOps := int64(len(preds)) * int64(len(docs))
+
+	report := perfReport{
+		Bench:      5,
+		Suite:      "compiled-predicates+scan-kernel",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Seed:       opts.Seed,
+		Docs:       opts.Docs,
+		Predicates: predCount,
+		Repeats:    opts.Repeats,
+		Speedups:   map[string]float64{},
+	}
+	add := func(name string, d time.Duration, ops int64) {
+		report.Results = append(report.Results, perfResult{Name: name, NsPerOp: nsPerOp(d, ops), Ops: ops})
+		fmt.Fprintf(out, "%-32s %12.1f ns/op  (%d ops in %v)\n", name, nsPerOp(d, ops), ops, d.Round(time.Microsecond))
+	}
+
+	var sink bool
+	interp := perfMeasure(opts.Repeats, func() {
+		for _, p := range preds {
+			for _, d := range docs {
+				sink = p.Eval(d)
+			}
+		}
+	})
+	add("predicate_scan/interpreted", interp, scanOps)
+
+	// One Evaluator per predicate, exactly as a scan worker holds it: the
+	// pooled CompiledPredicate.Eval entry point is for ad-hoc callers.
+	evals := make([]*query.Evaluator, len(compiled))
+	for i, c := range compiled {
+		evals[i] = c.Evaluator()
+	}
+	comp := perfMeasure(opts.Repeats, func() {
+		for _, e := range evals {
+			for i := range docs {
+				sink = e.EvalAt(&docs[i])
+			}
+		}
+	})
+	add("predicate_scan/compiled", comp, scanOps)
+	_ = sink
+
+	const compileRounds = 200
+	compileCost := perfMeasure(opts.Repeats, func() {
+		for i := 0; i < compileRounds; i++ {
+			for _, p := range preds {
+				query.Compile(p)
+			}
+		}
+	})
+	add("compile", compileCost, int64(compileRounds*len(preds)))
+
+	var kernelErr error
+	kernelPar := perfMeasure(opts.Repeats, func() {
+		for _, c := range compiled {
+			c := c
+			if _, err := scan.Filter(ctx, scan.Options{Workers: runtime.NumCPU(), Engine: "perf"}, docs,
+				func(_ int, d jsonval.Value) (bool, error) { return c.Eval(d), nil }); err != nil {
+				kernelErr = err
+			}
+		}
+	})
+	if kernelErr != nil {
+		return fmt.Errorf("perf: parallel kernel: %w", kernelErr)
+	}
+	add("scan_filter/parallel", kernelPar, scanOps)
+
+	kernelSeq := perfMeasure(opts.Repeats, func() {
+		for _, c := range compiled {
+			c := c
+			if _, err := scan.Stream(ctx, scan.Options{Engine: "perf"}, len(docs),
+				func(i int) (bool, error) { sink = c.Eval(docs[i]); return true, nil }); err != nil {
+				kernelErr = err
+			}
+		}
+	})
+	if kernelErr != nil {
+		return fmt.Errorf("perf: sequential kernel: %w", kernelErr)
+	}
+	add("scan_stream/sequential", kernelSeq, scanOps)
+
+	if comp > 0 {
+		report.Speedups["predicate_scan"] = math.Round(float64(interp)/float64(comp)*100) / 100
+	}
+	fmt.Fprintf(out, "speedup predicate_scan (interpreted/compiled): %.2fx\n", report.Speedups["predicate_scan"])
+
+	if opts.Out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("perf: encoding report: %w", err)
+		}
+		data = append(data, '\n')
+		if err := fsatomic.WriteFile(opts.Out, data, 0o644); err != nil {
+			return fmt.Errorf("perf: writing %s: %w", opts.Out, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.Out)
+	}
+	return nil
+}

@@ -206,11 +206,19 @@ func TestDifferentialFuzzAcrossEngines(t *testing.T) {
 					round, e.Name(), refName, q, got, refOut)
 			}
 		}
-		// Every engine must also agree with the reference evaluator.
+		// Every engine must also agree with the reference evaluator, and
+		// the compiled predicate must agree with the interpreted one on
+		// every single document (the compiled-vs-reference differential).
+		compiled := query.Compile(q.Filter)
 		var evalMatched int64
-		for _, d := range docs {
-			if q.Matches(d) {
+		for di, d := range docs {
+			m := q.Matches(d)
+			if m {
 				evalMatched++
+			}
+			if cm := compiled.Eval(d); cm != m {
+				t.Fatalf("round %d: compiled predicate = %v, reference evaluator = %v on doc %d for %s",
+					round, cm, m, di, q)
 			}
 		}
 		if evalMatched != refMatched {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/scan"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/query"
 )
@@ -134,7 +135,7 @@ func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
 // residual predicate still to evaluate, reusing the deepest cached ancestor
 // of the composed predicate chain. The hit flag reports whether any cached
 // result (full or ancestor) served the lookup.
-func (e *Engine) resolve(baseName string, filter query.Predicate) (docs []jsonval.Value, residual query.Predicate, hit bool, err error) {
+func (e *Engine) resolve(ctx context.Context, baseName string, filter query.Predicate) (docs []jsonval.Value, residual query.Predicate, hit bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if docs, ok := e.derived[baseName]; ok {
@@ -147,7 +148,7 @@ func (e *Engine) resolve(baseName string, filter query.Predicate) (docs []jsonva
 	if ds.docs == nil {
 		// Evicted: re-parse the retained bytes (the re-read cost of a
 		// memory-limited deployment).
-		docs, err := parseAll(ds.raw, e.opts.Threads)
+		docs, err := e.parseAll(ctx, ds.raw)
 		if err != nil {
 			return nil, nil, false, fmt.Errorf("jodasim: re-parsing evicted dataset %s: %w", baseName, err)
 		}
@@ -192,7 +193,7 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 		return engine.ExecStats{}, fmt.Errorf("jodasim: %w", err)
 	}
 	start := time.Now()
-	docs, residual, hit, err := e.resolve(q.Base, q.Filter)
+	docs, residual, hit, err := e.resolve(ctx, q.Base, q.Filter)
 	if err != nil {
 		engine.ObserveExec(ctx, e.Name(), q, engine.ExecStats{}, err)
 		return engine.ExecStats{}, err
@@ -254,71 +255,26 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 	return stats, nil
 }
 
-// scan filters docs over the worker pool, preserving document order.
+// scan filters docs on the shared kernel, compiling the predicate once per
+// query so the per-document work is an allocation-free closure call. The
+// kernel preserves document order and clamps workers to the document count.
 func (e *Engine) scan(ctx context.Context, docs []jsonval.Value, filter query.Predicate) ([]jsonval.Value, error) {
 	if filter == nil {
 		return docs, nil
 	}
-	workers := e.opts.Threads
-	if workers > len(docs) {
-		workers = 1
-	}
-	if workers <= 1 {
-		out := make([]jsonval.Value, 0, len(docs)/4)
-		for i, d := range docs {
-			if err := engine.Cancelled(ctx, int64(i)); err != nil {
-				return nil, err
-			}
-			if filter.Eval(d) {
-				out = append(out, d)
-			}
-		}
-		return out, nil
-	}
-	parts := make([][]jsonval.Value, workers)
-	errs := make([]error, workers)
-	chunk := (len(docs) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(docs))
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var out []jsonval.Value
-			for i := lo; i < hi; i++ {
-				if err := engine.Cancelled(ctx, int64(i-lo)); err != nil {
-					errs[w] = err
-					return
-				}
-				if filter.Eval(docs[i]) {
-					out = append(out, docs[i])
-				}
-			}
-			parts[w] = out
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var total int
-	for w := range parts {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		total += len(parts[w])
-	}
-	out := make([]jsonval.Value, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, nil
+	compiled := query.Compile(filter)
+	return scan.Filter(ctx, e.scanOptions(), docs, func(_ int, d jsonval.Value) (bool, error) {
+		return compiled.Eval(d), nil
+	})
 }
 
-// parseAll re-parses newline-delimited bytes with the worker pool.
-func parseAll(raw []byte, workers int) ([]jsonval.Value, error) {
-	// Find boundaries first, then parse in parallel.
+func (e *Engine) scanOptions() scan.Options {
+	return scan.Options{Workers: e.opts.Threads, Engine: e.Name()}
+}
+
+// parseAll re-parses newline-delimited bytes on the shared kernel: find the
+// document boundaries sequentially, then parse the spans in parallel.
+func (e *Engine) parseAll(ctx context.Context, raw []byte) ([]jsonval.Value, error) {
 	var spans [][2]int
 	off := 0
 	for off < len(raw) {
@@ -332,46 +288,9 @@ func parseAll(raw []byte, workers int) ([]jsonval.Value, error) {
 		spans = append(spans, [2]int{off, off + n})
 		off += n
 	}
-	docs := make([]jsonval.Value, len(spans))
-	if workers <= 1 || len(spans) < workers {
-		for i, sp := range spans {
-			d, err := jsonval.Parse(trimSpace(raw[sp[0]:sp[1]]))
-			if err != nil {
-				return nil, err
-			}
-			docs[i] = d
-		}
-		return docs, nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	chunk := (len(spans) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(spans))
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				d, err := jsonval.Parse(trimSpace(raw[spans[i][0]:spans[i][1]]))
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				docs[i] = d
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return docs, nil
+	return scan.Map(ctx, e.scanOptions(), spans, func(_ int, sp [2]int) (jsonval.Value, error) {
+		return jsonval.Parse(trimSpace(raw[sp[0]:sp[1]]))
+	})
 }
 
 func trimSpace(b []byte) []byte {
@@ -403,12 +322,13 @@ func (e *Engine) evictAll() {
 // CountMatching implements the generator's verification backend
 // (core.Backend) on top of the same cached scan machinery.
 func (e *Engine) CountMatching(base string, pred query.Predicate) (int64, error) {
-	docs, residual, _, err := e.resolve(base, pred)
+	//lint:ignore ctxplumb core.Backend carries no context; resolve and scan read ctx only for cancellation, which generation cannot request
+	ctx := context.Background()
+	docs, residual, _, err := e.resolve(ctx, base, pred)
 	if err != nil {
 		return 0, err
 	}
-	//lint:ignore ctxplumb core.Backend carries no context; scan reads ctx only for cancellation, which generation cannot request
-	matched, err := e.scan(context.Background(), docs, residual)
+	matched, err := e.scan(ctx, docs, residual)
 	if err != nil {
 		return 0, err
 	}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/scan"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/query"
 )
@@ -146,22 +147,19 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	// which is why jq "benefits from this the least" (Table III).
 	var pipeBuf []byte
 
+	// The decode loop runs on the sequential scan kernel as an unbounded
+	// stream: the document count is unknown until the decoder hits EOF.
 	dec := json.NewDecoder(bufio.NewReaderSize(f, 256*1024))
-	var i int64
-	for {
-		if err := engine.Cancelled(ctx, i); err != nil {
-			return stats, err
-		}
-		i++
+	if _, err := scan.Stream(ctx, scan.Options{Engine: e.Name()}, -1, func(int) (bool, error) {
 		var doc any
-		if err := dec.Decode(&doc); err == io.EOF {
-			break
-		} else if err != nil {
-			return stats, fmt.Errorf("jqsim: parsing %s: %w", path, err)
+		if derr := dec.Decode(&doc); derr == io.EOF {
+			return false, nil
+		} else if derr != nil {
+			return false, fmt.Errorf("jqsim: parsing %s: %w", path, derr)
 		}
 		stats.Scanned++
 		if !evalAny(doc, q.Filter) {
-			continue
+			return true, nil
 		}
 		stats.Matched++
 		if q.Transform != nil {
@@ -170,32 +168,35 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 			doc = fromValue(q.Transform.Apply(toValue(doc)))
 		}
 		if agg != nil {
-			out, err := json.Marshal(doc)
-			if err != nil {
-				return stats, fmt.Errorf("jqsim: %w", err)
+			out, merr := json.Marshal(doc)
+			if merr != nil {
+				return false, fmt.Errorf("jqsim: %w", merr)
 			}
 			pipeBuf = append(pipeBuf, out...)
 			pipeBuf = append(pipeBuf, '\n')
-			continue
+			return true, nil
 		}
 		// jq always prints its output (the paper: "jq queries would
 		// always output the whole content over stdout").
-		out, err := json.Marshal(doc)
-		if err != nil {
-			return stats, fmt.Errorf("jqsim: %w", err)
+		out, merr := json.Marshal(doc)
+		if merr != nil {
+			return false, fmt.Errorf("jqsim: %w", merr)
 		}
 		out = append(out, '\n')
-		n, err := sink.Write(out)
-		if err != nil {
-			return stats, err
+		n, werr := sink.Write(out)
+		if werr != nil {
+			return false, werr
 		}
 		stats.Returned++
 		stats.OutputBytes += int64(n)
 		if storeWriter != nil {
-			if _, err := storeWriter.Write(out); err != nil {
-				return stats, err
+			if _, werr := storeWriter.Write(out); werr != nil {
+				return false, werr
 			}
 		}
+		return true, nil
+	}); err != nil {
+		return stats, err
 	}
 	if agg != nil {
 		// Second jq instance: slurp the filtered stream and reduce it.

@@ -17,6 +17,7 @@ import (
 
 	"github.com/joda-explore/betze/internal/bsonlite"
 	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/scan"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/lz"
 	"github.com/joda-explore/betze/internal/query"
@@ -182,73 +183,84 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 		storeWriter = &blockWriter{opts: e.opts, coll: storeColl}
 	}
 
+	// The walk runs on the sequential scan kernel (MongoDB's modelled
+	// execution is single-threaded); the step closure advances a block
+	// cursor, decompressing each block on first touch. FullDecode mode
+	// evaluates the compiled predicate over materialised documents; the
+	// default mode keeps the lazy per-leaf walks over raw BSON.
+	compiled := query.Compile(q.Filter)
 	var outBuf []byte
-	var i int64
-	for _, b := range coll.blocks {
-		raw, err := b.open()
-		if err != nil {
-			return stats, fmt.Errorf("mongosim: opening block: %w", err)
+	var (
+		bi  int
+		raw []byte
+		off int
+	)
+	if _, err := scan.Stream(ctx, scan.Options{Engine: e.Name()}, int(coll.docs), func(int) (bool, error) {
+		for off >= len(raw) {
+			opened, oerr := coll.blocks[bi].open()
+			if oerr != nil {
+				return false, fmt.Errorf("mongosim: opening block: %w", oerr)
+			}
+			bi++
+			raw, off = opened, 0
 		}
-		off := 0
-		for off < len(raw) {
-			if err := engine.Cancelled(ctx, i); err != nil {
-				return stats, err
+		docLen, derr := docLength(raw[off:])
+		if derr != nil {
+			return false, derr
+		}
+		doc := raw[off : off+docLen]
+		off += docLen
+		stats.Scanned++
+		var match bool
+		if e.opts.FullDecode {
+			v, verr := bsonlite.Decode(doc)
+			if verr != nil {
+				return false, fmt.Errorf("mongosim: decoding document: %w", verr)
 			}
-			i++
-			docLen, err := docLength(raw[off:])
-			if err != nil {
-				return stats, err
-			}
-			doc := raw[off : off+docLen]
-			off += docLen
-			stats.Scanned++
-			var match bool
-			if e.opts.FullDecode {
-				v, derr := bsonlite.Decode(doc)
-				if derr != nil {
-					return stats, fmt.Errorf("mongosim: decoding document: %w", derr)
-				}
-				match = q.Matches(v)
-			} else {
-				match, err = evalFilter(doc, q.Filter)
-				if err != nil {
-					return stats, err
-				}
-			}
-			if !match {
-				continue
-			}
-			stats.Matched++
-			switch {
-			case agg != nil && q.Transform == nil:
-				if err := addLazy(agg, doc, q.Agg); err != nil {
-					return stats, err
-				}
-			case agg != nil:
-				// Transform stages force materialisation, as $set/$unset
-				// pipelines do.
-				v, err := e.materialise(doc, q)
-				if err != nil {
-					return stats, err
-				}
-				agg.Add(q.ApplyTransform(v))
-			default:
-				v, err := e.materialise(doc, q)
-				if err != nil {
-					return stats, err
-				}
-				v = q.ApplyTransform(v)
-				if storeWriter != nil {
-					storeWriter.add(v)
-				}
-				n, err := engine.WriteDoc(sink, &outBuf, v)
-				if err != nil {
-					return stats, err
-				}
-				stats.Returned++
-				stats.OutputBytes += n
+			match = compiled.Eval(v)
+		} else {
+			var ferr error
+			match, ferr = evalFilter(doc, q.Filter)
+			if ferr != nil {
+				return false, ferr
 			}
 		}
+		if !match {
+			return true, nil
+		}
+		stats.Matched++
+		switch {
+		case agg != nil && q.Transform == nil:
+			if aerr := addLazy(agg, doc, q.Agg); aerr != nil {
+				return false, aerr
+			}
+		case agg != nil:
+			// Transform stages force materialisation, as $set/$unset
+			// pipelines do.
+			v, merr := e.materialise(doc, q)
+			if merr != nil {
+				return false, merr
+			}
+			agg.Add(q.ApplyTransform(v))
+		default:
+			v, merr := e.materialise(doc, q)
+			if merr != nil {
+				return false, merr
+			}
+			v = q.ApplyTransform(v)
+			if storeWriter != nil {
+				storeWriter.add(v)
+			}
+			n, werr := engine.WriteDoc(sink, &outBuf, v)
+			if werr != nil {
+				return false, werr
+			}
+			stats.Returned++
+			stats.OutputBytes += n
+		}
+		return true, nil
+	}); err != nil {
+		return stats, err
 	}
 	if agg != nil {
 		var buf []byte

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/scan"
 	"github.com/joda-explore/betze/internal/jsonblite"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/lz"
@@ -236,56 +237,62 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	if q.Agg != nil {
 		agg = query.NewAggregator(*q.Agg)
 	}
+	// The row walk runs on the sequential scan kernel (PostgreSQL's
+	// modelled execution is single-threaded). FullDecode mode evaluates
+	// the compiled predicate over materialised rows; the default mode
+	// keeps the per-leaf detoast + binary-searched lookups.
+	compiled := query.Compile(q.Filter)
 	var storeRows []row
 	var outBuf []byte
-	for i, r := range tbl.rows {
-		if err := engine.Cancelled(ctx, int64(i)); err != nil {
-			return stats, err
-		}
+	if _, err := scan.Stream(ctx, scan.Options{Engine: e.Name()}, len(tbl.rows), func(i int) (bool, error) {
+		r := tbl.rows[i]
 		stats.Scanned++
 		var match bool
-		var err error
 		if e.opts.FullDecode {
 			data, derr := r.open()
 			if derr != nil {
-				return stats, fmt.Errorf("pgsim: detoasting row: %w", derr)
+				return false, fmt.Errorf("pgsim: detoasting row: %w", derr)
 			}
 			doc, derr := jsonblite.Decode(data)
 			if derr != nil {
-				return stats, fmt.Errorf("pgsim: decoding row: %w", derr)
+				return false, fmt.Errorf("pgsim: decoding row: %w", derr)
 			}
-			match = q.Matches(doc)
+			match = compiled.Eval(doc)
 		} else {
-			match, err = evalRow(r, q.Filter)
-			if err != nil {
-				return stats, err
+			var ferr error
+			match, ferr = evalRow(r, q.Filter)
+			if ferr != nil {
+				return false, ferr
 			}
 		}
 		if !match {
-			continue
+			return true, nil
 		}
 		stats.Matched++
 		// Producing output (or aggregating) accesses the whole value:
 		// one more detoast plus a decode, as returning jsonb does.
-		data, err := r.open()
-		if err != nil {
-			return stats, fmt.Errorf("pgsim: detoasting row: %w", err)
+		data, derr := r.open()
+		if derr != nil {
+			return false, fmt.Errorf("pgsim: detoasting row: %w", derr)
 		}
-		doc, err := jsonblite.Decode(data)
-		if err != nil {
-			return stats, fmt.Errorf("pgsim: decoding row: %w", err)
+		doc, derr := jsonblite.Decode(data)
+		if derr != nil {
+			return false, fmt.Errorf("pgsim: decoding row: %w", derr)
 		}
 		if q.Transform != nil {
 			doc = q.Transform.Apply(doc)
 			// The stored/output value is rebuilt, as jsonb_set does.
-			r, err = e.encodeRow(doc)
-			if err != nil {
-				return stats, fmt.Errorf("pgsim: transforming row: %w", err)
+			r, derr = e.encodeRow(doc)
+			if derr != nil {
+				return false, fmt.Errorf("pgsim: transforming row: %w", derr)
 			}
 		}
-		if err := e.emit(q, doc, r, &storeRows, agg, sink, &outBuf, &stats); err != nil {
-			return stats, err
+		if eerr := e.emit(q, doc, r, &storeRows, agg, sink, &outBuf, &stats); eerr != nil {
+			return false, eerr
 		}
+		return true, nil
+	}); err != nil {
+		return stats, err
 	}
 	if agg != nil {
 		var buf []byte

@@ -1,0 +1,4 @@
+package scan
+
+// Plan exposes the batch planner to the tests.
+func Plan(o Options, n int) (workers, batch int) { return plan(o, n) }

@@ -1,0 +1,282 @@
+// Package scan is the shared chunked scan kernel the engine sims execute
+// their document walks on. One kernel replaces the four private worker
+// loops the sims used to carry: parallel engines call Filter or Map,
+// engines whose real counterpart is single-threaded call Stream, and all
+// three share the same batch planning, per-batch cancellation and obs
+// accounting.
+//
+// Parallel kernels distribute work through an atomic cursor over small
+// batches instead of one fixed chunk per worker: under skew (one expensive
+// document) a fixed chunk stalls its worker while the others drain, whereas
+// cursor batches rebalance automatically. Each worker keeps its results in
+// private runs tagged with the batch start index, and the final merge sorts
+// runs by start, so Filter output is in document order regardless of which
+// worker claimed which batch.
+//
+// The package is inside the determinism lint scope: it never reads the
+// clock, so its trace events carry no Duration.
+package scan
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// DefaultBatch is the cursor claim size when Options.Batch is unset. Small
+// batches keep workers balanced under skew while still amortising the
+// atomic increment; cancellation is checked once per claim, so the batch
+// size also bounds cancellation latency.
+const DefaultBatch = 64
+
+// Options configures one scan pass.
+type Options struct {
+	// Workers is the goroutine count for the parallel kernels (Filter,
+	// Map). Values below 1 run single-threaded; Stream ignores it.
+	Workers int
+	// Batch is the item count of one cursor claim. Values below 1 use
+	// DefaultBatch.
+	Batch int
+	// Engine labels the pass's trace events.
+	Engine string
+}
+
+// plan clamps the configuration against an n-item input: workers never
+// exceed n (a 3-document scan on a 4-thread engine runs 3 workers, not 1),
+// and the batch shrinks to ceil(n/workers) so every worker gets a claim on
+// small inputs.
+func plan(o Options, n int) (workers, batch int) {
+	workers = o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1 // n == 0: one worker observes the empty input
+	}
+	batch = o.Batch
+	if batch < 1 {
+		batch = DefaultBatch
+	}
+	if ceil := (n + workers - 1) / workers; ceil > 0 && batch > ceil {
+		batch = ceil
+	}
+	return workers, batch
+}
+
+// run is one worker's kept items from one claimed batch, tagged with the
+// batch start index so the merge can restore document order.
+type run[T any] struct {
+	start int
+	items []T
+}
+
+// cursorLoop is the shared worker body of the parallel kernels: claim a
+// batch through the cursor, check cancellation, walk it. walk returns the
+// index of the first failing item, or end on success.
+type cursorLoop struct {
+	n       int
+	batch   int
+	cursor  atomic.Int64
+	batches atomic.Int64
+	walked  atomic.Int64
+	stop    atomic.Bool
+
+	mu      sync.Mutex
+	errAt   int
+	firstEr error
+}
+
+// fail records err at item index at, keeping the lowest-index error so the
+// reported failure is deterministic under any worker interleaving.
+func (c *cursorLoop) fail(at int, err error) {
+	c.mu.Lock()
+	if c.firstEr == nil || at < c.errAt {
+		c.errAt, c.firstEr = at, err
+	}
+	c.mu.Unlock()
+	c.stop.Store(true)
+}
+
+func (c *cursorLoop) work(ctx context.Context, walk func(start, end int) int) {
+	for !c.stop.Load() {
+		start := int(c.cursor.Add(int64(c.batch))) - c.batch
+		if start >= c.n {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			c.fail(start, err)
+			return
+		}
+		c.batches.Add(1)
+		end := start + c.batch
+		if end > c.n {
+			end = c.n
+		}
+		stopped := walk(start, end)
+		c.walked.Add(int64(stopped - start))
+		if stopped < end {
+			return // walk recorded its failure through fail
+		}
+	}
+}
+
+// Filter scans items with workers goroutines and returns the items keep
+// accepted, in document order. keep may be called from multiple goroutines
+// concurrently; an error (or context cancellation) aborts the scan and the
+// lowest-index error is returned.
+func Filter[T any](ctx context.Context, o Options, items []T, keep func(i int, item T) (bool, error)) ([]T, error) {
+	workers, batch := plan(o, len(items))
+	c := &cursorLoop{n: len(items), batch: batch}
+	runs := make([][]run[T], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.work(ctx, func(start, end int) int {
+				var kept []T
+				for i := start; i < end; i++ {
+					ok, err := keep(i, items[i])
+					if err != nil {
+						c.fail(i, err)
+						return i
+					}
+					if ok {
+						kept = append(kept, items[i])
+					}
+				}
+				if len(kept) > 0 {
+					runs[w] = append(runs[w], run[T]{start: start, items: kept})
+				}
+				return end
+			})
+		}(w)
+	}
+	wg.Wait()
+	observe(ctx, o, obs.KindParallel, workers, c.walked.Load(), c.batches.Load(), c.firstEr)
+	if c.firstEr != nil {
+		return nil, c.firstEr
+	}
+	return mergeRuns(runs), nil
+}
+
+// mergeRuns flattens per-worker runs back into document order.
+func mergeRuns[T any](perWorker [][]run[T]) []T {
+	var all []run[T]
+	total := 0
+	for _, rs := range perWorker {
+		for _, r := range rs {
+			total += len(r.items)
+		}
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+	out := make([]T, 0, total)
+	for _, r := range all {
+		out = append(out, r.items...)
+	}
+	return out
+}
+
+// Map scans items with workers goroutines, producing one output per input
+// at the same index. fn may be called from multiple goroutines
+// concurrently; an error aborts the scan and the partial output is
+// discarded.
+func Map[T, R any](ctx context.Context, o Options, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	workers, batch := plan(o, len(items))
+	c := &cursorLoop{n: len(items), batch: batch}
+	out := make([]R, len(items))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.work(ctx, func(start, end int) int {
+				for i := start; i < end; i++ {
+					r, err := fn(i, items[i])
+					if err != nil {
+						c.fail(i, err)
+						return i
+					}
+					out[i] = r
+				}
+				return end
+			})
+		}()
+	}
+	wg.Wait()
+	observe(ctx, o, obs.KindParallel, workers, c.walked.Load(), c.batches.Load(), c.firstEr)
+	if c.firstEr != nil {
+		return nil, c.firstEr
+	}
+	return out, nil
+}
+
+// Stream runs a sequential scan for the engines whose modelled system is
+// single-threaded. A negative n scans an unbounded input (a decoder stream
+// whose length is unknown upfront). step reports whether item i was
+// consumed and the scan should continue; returning false stops without
+// counting that call (end of input, result limits). Cancellation is checked
+// once per batch, like the parallel kernels. Stream returns the number of
+// items consumed.
+func Stream(ctx context.Context, o Options, n int, step func(i int) (bool, error)) (done int, err error) {
+	_, batch := plan(Options{Batch: o.Batch, Engine: o.Engine}, n)
+	var batches int64
+	defer func() { observe(ctx, o, obs.KindSequential, 1, int64(done), batches, err) }()
+	for n < 0 || done < n {
+		if cerr := ctx.Err(); cerr != nil {
+			return done, cerr
+		}
+		batches++
+		end := done + batch
+		if n >= 0 && end > n {
+			end = n
+		}
+		for done < end {
+			ok, serr := step(done)
+			if serr != nil {
+				return done, serr
+			}
+			if !ok {
+				return done, nil
+			}
+			done++
+		}
+	}
+	return done, nil
+}
+
+// observe reports one finished pass into the scope attached to ctx: the
+// scan.* counters plus one scan trace event. A cancelled pass also bumps
+// the cancel counter. No Duration is recorded — this package never reads
+// the clock.
+func observe(ctx context.Context, o Options, kind string, workers int, items, batches int64, err error) {
+	sc := obs.From(ctx)
+	if !sc.Enabled() {
+		return
+	}
+	sc.Counter(obs.MScanItems).Add(items)
+	sc.Counter(obs.MScanBatches).Add(batches)
+	sc.Counter(obs.MScanWorkers).Add(int64(workers))
+	ev := obs.Event{
+		Type:    obs.EvScan,
+		Engine:  o.Engine,
+		Kind:    kind,
+		Scanned: items,
+		Workers: workers,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			sc.Counter(obs.MScanCancels).Inc()
+		}
+	}
+	sc.Record(ev)
+}

@@ -34,6 +34,31 @@ func (p Path) Segments() []string {
 	return strings.Split(strings.TrimPrefix(string(p), "/"), "/")
 }
 
+// Steps pre-resolves the path into its step slice for repeated lookups.
+// Splitting happens once here; pairing the result with LookupSteps keeps the
+// per-document hot path free of string scanning and allocation. Compiled
+// predicates (internal/query) resolve their paths through Steps at compile
+// time.
+func (p Path) Steps() []string {
+	return p.Segments()
+}
+
+// LookupSteps resolves a pre-split step slice (from Path.Steps) inside doc.
+// It is the allocation-free equivalent of Path.Lookup: the per-call work is
+// one Field walk per step, nothing else. An empty step slice addresses the
+// document root.
+func LookupSteps(doc Value, steps []string) (Value, bool) {
+	v := doc
+	for _, seg := range steps {
+		var ok bool
+		v, ok = v.Field(seg)
+		if !ok {
+			return Value{}, false
+		}
+	}
+	return v, true
+}
+
 // Depth is the number of attribute names in the path; the root has depth 0.
 func (p Path) Depth() int {
 	if p == RootPath {

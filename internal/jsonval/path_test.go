@@ -121,6 +121,41 @@ func TestPathLookup(t *testing.T) {
 	}
 }
 
+func TestLookupStepsMatchesLookup(t *testing.T) {
+	doc := mustParse(t, `{"a":{"b":{"c":42},"x":[1,2]},"top":true}`)
+	for _, path := range []string{"/", "/a", "/a/b/c", "/top", "/a/b/missing", "/top/deeper", "/ghost"} {
+		p := ParsePath(path)
+		want, wantOK := p.Lookup(doc)
+		got, gotOK := LookupSteps(doc, p.Steps())
+		if gotOK != wantOK || (gotOK && !got.Equal(want)) {
+			t.Errorf("LookupSteps(%q) = (%s, %v), Lookup = (%s, %v)", path, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+// TestLookupStepsZeroAllocs is the allocation regression gate for the
+// compiled-predicate hot path: resolving pre-split steps must not allocate,
+// on a hit or on a miss.
+func TestLookupStepsZeroAllocs(t *testing.T) {
+	doc := mustParse(t, `{"a":{"b":{"c":42}},"top":true}`)
+	hit := ParsePath("/a/b/c").Steps()
+	miss := ParsePath("/a/b/nope/deeper").Steps()
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := LookupSteps(doc, hit); !ok {
+			t.Fatal("hit path not found")
+		}
+	}); n != 0 {
+		t.Errorf("LookupSteps hit allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := LookupSteps(doc, miss); ok {
+			t.Fatal("miss path found")
+		}
+	}); n != 0 {
+		t.Errorf("LookupSteps miss allocates %v per run, want 0", n)
+	}
+}
+
 func TestPathParentChildInverseProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 300, Values: func(vs []reflect.Value, r *rand.Rand) {
 		depth := 1 + r.Intn(5)

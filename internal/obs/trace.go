@@ -61,6 +61,11 @@ const (
 	// record count and Err the truncation reason when a torn tail was
 	// dropped.
 	EvJournalRecover = "journal_recover"
+	// EvScan records one completed scan-kernel pass; Kind is the execution
+	// mode ("parallel", "sequential"), Scanned the item count and Workers
+	// the worker goroutine count. Scan events carry no Duration: the
+	// kernel is in the determinism lint scope and never reads the clock.
+	EvScan = "scan"
 )
 
 // Event is one structured trace record. Zero-valued fields are omitted from
@@ -98,6 +103,8 @@ type Event struct {
 	Queries int `json:"queries,omitempty"`
 	// Records is the record count of a journal_recover event.
 	Records int64 `json:"records,omitempty"`
+	// Workers is the worker goroutine count of a scan event.
+	Workers int `json:"workers,omitempty"`
 
 	Duration time.Duration `json:"dur_ns,omitempty"`
 	TimedOut bool          `json:"timed_out,omitempty"`

@@ -1,0 +1,250 @@
+package query
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// TestCompileMatchesEvalFuzz is the in-package differential check: random
+// predicate trees must evaluate identically compiled and interpreted, across
+// random documents. The cross-engine variant lives in internal/engine's
+// differential test.
+func TestCompileMatchesEvalFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for round := 0; round < 500; round++ {
+		p := randomPredicate(r, 3)
+		c := Compile(p)
+		for i := 0; i < 20; i++ {
+			doc := randomSmallDoc(r)
+			if got, want := c.Eval(doc), p.Eval(doc); got != want {
+				t.Fatalf("round %d: compiled=%v interpreted=%v for %s over %s", round, got, want, p, doc)
+			}
+		}
+	}
+}
+
+func TestCompileNilAndZeroValueMatchEverything(t *testing.T) {
+	doc := jsonval.ObjectValue(jsonval.Member{Key: "a", Value: jsonval.IntValue(1)})
+	if !Compile(nil).Eval(doc) {
+		t.Error("Compile(nil) rejected a document")
+	}
+	var zero CompiledPredicate
+	if !zero.Eval(doc) || !zero.Matches(doc) {
+		t.Error("zero CompiledPredicate rejected a document")
+	}
+	if zero.String() != "TRUE" {
+		t.Errorf("zero String = %q", zero.String())
+	}
+}
+
+func TestCompileStringKeepsCanonicalForm(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 100; i++ {
+		p := randomPredicate(r, 3)
+		if got := Compile(p).String(); got != p.String() {
+			t.Errorf("compiled String %q != source %q", got, p.String())
+		}
+	}
+}
+
+func TestCompileIsIdempotentOverItsOutput(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 50; i++ {
+		p := randomPredicate(r, 2)
+		c := Compile(p)
+		cc := Compile(And{Left: c, Right: Exists{Path: "/a"}})
+		doc := randomSmallDoc(r)
+		want := p.Eval(doc) && Exists{Path: "/a"}.Eval(doc)
+		if got := cc.Eval(doc); got != want {
+			t.Fatalf("recompiled tree diverged for %s", p)
+		}
+	}
+}
+
+// TestCompileConstantFolds pins the folds the compiler performs: root
+// existence, unsatisfiable size comparisons, empty prefixes, and constant
+// propagation through AND/OR.
+func TestCompileConstantFolds(t *testing.T) {
+	docs := []jsonval.Value{
+		jsonval.ObjectValue(
+			jsonval.Member{Key: "s", Value: jsonval.StringValue("hello")},
+			jsonval.Member{Key: "arr", Value: jsonval.ArrayValue(jsonval.IntValue(1))},
+		),
+		jsonval.ObjectValue(),
+	}
+	cases := []struct {
+		name string
+		pred Predicate
+	}{
+		{"exists root", Exists{Path: jsonval.RootPath}},
+		{"arrsize lt zero", ArrSize{Path: "/arr", Op: Lt, Value: 0}},
+		{"arrsize eq negative", ArrSize{Path: "/arr", Op: Eq, Value: -1}},
+		{"objsize le negative", ObjSize{Path: "/o", Op: Le, Value: -2}},
+		{"empty prefix is type check", HasPrefix{Path: "/s", Prefix: ""}},
+		{"and with const true", And{Left: Exists{Path: jsonval.RootPath}, Right: IsString{Path: "/s"}}},
+		{"and with const false", And{Left: ArrSize{Path: "/arr", Op: Lt, Value: 0}, Right: IsString{Path: "/s"}}},
+		{"or with const true", Or{Left: Exists{Path: jsonval.RootPath}, Right: IsString{Path: "/s"}}},
+		{"or with const false", Or{Left: ArrSize{Path: "/arr", Op: Lt, Value: -5}, Right: IsString{Path: "/s"}}},
+	}
+	for _, c := range cases {
+		compiled := Compile(c.pred)
+		for _, doc := range docs {
+			if got, want := compiled.Eval(doc), c.pred.Eval(doc); got != want {
+				t.Errorf("%s: compiled=%v interpreted=%v over %s", c.name, got, want, doc)
+			}
+		}
+	}
+	// The folds themselves: a fully-constant tree compiles to zero cost.
+	if c := Compile(Exists{Path: jsonval.RootPath}); c.Cost() != 0 {
+		t.Errorf("EXISTS('/') compiled to cost %d, want folded constant", c.Cost())
+	}
+	if c := Compile(ArrSize{Path: "/arr", Op: Lt, Value: 0}); c.Cost() != 0 {
+		t.Errorf("ARRSIZE < 0 compiled to cost %d, want folded constant", c.Cost())
+	}
+}
+
+// countingLeaf counts its evaluations; compiled through the external-leaf
+// fallback it carries the analyzer's most-expensive static cost, so the cost
+// model must schedule the cheap Exists operand before it.
+type countingLeaf struct {
+	calls *atomic.Int64
+	out   bool
+}
+
+func (c countingLeaf) Eval(jsonval.Value) bool {
+	c.calls.Add(1)
+	return c.out
+}
+func (c countingLeaf) String() string { return "COUNTING" }
+
+// TestCompileOrdersCheapOperandFirst asserts the cost model's observable
+// effect: with AND, a failing cheap existence check short-circuits the
+// expensive operand away regardless of source order; with OR, a succeeding
+// cheap check does.
+func TestCompileOrdersCheapOperandFirst(t *testing.T) {
+	doc := jsonval.ObjectValue(jsonval.Member{Key: "present", Value: jsonval.IntValue(1)})
+
+	var calls atomic.Int64
+	expensive := countingLeaf{calls: &calls, out: true}
+	missing := Exists{Path: "/absent"}
+	for _, p := range []Predicate{
+		And{Left: expensive, Right: missing},
+		And{Left: missing, Right: expensive},
+	} {
+		calls.Store(0)
+		c := Compile(p)
+		for i := 0; i < 10; i++ {
+			if c.Eval(doc) {
+				t.Fatalf("%s matched", p)
+			}
+		}
+		if calls.Load() != 0 {
+			t.Errorf("expensive operand of %s evaluated %d times; cheap failing check should short-circuit", p, calls.Load())
+		}
+	}
+
+	present := Exists{Path: "/present"}
+	for _, p := range []Predicate{
+		Or{Left: expensive, Right: present},
+		Or{Left: present, Right: expensive},
+	} {
+		calls.Store(0)
+		c := Compile(p)
+		for i := 0; i < 10; i++ {
+			if !c.Eval(doc) {
+				t.Fatalf("%s did not match", p)
+			}
+		}
+		if calls.Load() != 0 {
+			t.Errorf("expensive operand of %s evaluated %d times; cheap succeeding check should short-circuit", p, calls.Load())
+		}
+	}
+}
+
+// TestEvaluatorMatchesEvalFuzz checks the reusable-evaluator entry points
+// against the interpreted reference: reusing one Evaluator across many
+// documents (the scan-worker pattern) must agree with Predicate.Eval, through
+// both the copying and the in-place entry point.
+func TestEvaluatorMatchesEvalFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for round := 0; round < 300; round++ {
+		p := randomPredicate(r, 3)
+		e := Compile(p).Evaluator()
+		for i := 0; i < 20; i++ {
+			doc := randomSmallDoc(r)
+			want := p.Eval(doc)
+			if got := e.Eval(doc); got != want {
+				t.Fatalf("round %d: Evaluator.Eval=%v interpreted=%v for %s over %s", round, got, want, p, doc)
+			}
+			if got := e.EvalAt(&doc); got != want {
+				t.Fatalf("round %d: Evaluator.EvalAt=%v interpreted=%v for %s over %s", round, got, want, p, doc)
+			}
+		}
+	}
+}
+
+func TestEvaluatorZeroAndNil(t *testing.T) {
+	doc := jsonval.ObjectValue(jsonval.Member{Key: "a", Value: jsonval.IntValue(1)})
+	e := Compile(nil).Evaluator()
+	if !e.Eval(doc) || !e.EvalAt(&doc) {
+		t.Error("Evaluator of Compile(nil) rejected a document")
+	}
+}
+
+// TestCompiledLeafZeroAllocs is the allocation regression gate of the
+// compiled hot path: evaluating compiled leaf predicates (every kind, hit
+// and miss, shallow and nested) must not allocate.
+func TestCompiledLeafZeroAllocs(t *testing.T) {
+	doc := jsonval.ObjectValue(
+		jsonval.Member{Key: "s", Value: jsonval.StringValue("hello world")},
+		jsonval.Member{Key: "n", Value: jsonval.IntValue(7)},
+		jsonval.Member{Key: "f", Value: jsonval.FloatValue(2.5)},
+		jsonval.Member{Key: "b", Value: jsonval.BoolValue(true)},
+		jsonval.Member{Key: "arr", Value: jsonval.ArrayValue(jsonval.IntValue(1), jsonval.IntValue(2))},
+		jsonval.Member{Key: "nest", Value: jsonval.ObjectValue(
+			jsonval.Member{Key: "deep", Value: jsonval.StringValue("x")},
+		)},
+	)
+	leaves := []Predicate{
+		Exists{Path: "/s"},
+		Exists{Path: "/nest/deep"},
+		Exists{Path: "/missing/deeper"},
+		IsString{Path: "/s"},
+		IntEq{Path: "/n", Value: 7},
+		FloatCmp{Path: "/f", Op: Ge, Value: 1},
+		StrEq{Path: "/s", Value: "hello world"},
+		HasPrefix{Path: "/s", Prefix: "hello"},
+		BoolEq{Path: "/b", Value: true},
+		ArrSize{Path: "/arr", Op: Eq, Value: 2},
+		ObjSize{Path: "/nest", Op: Ge, Value: 1},
+	}
+	for _, leaf := range leaves {
+		c := Compile(leaf)
+		var sink bool
+		if n := testing.AllocsPerRun(200, func() { sink = c.Eval(doc) }); n != 0 {
+			t.Errorf("compiled %s allocates %v per Eval, want 0", leaf, n)
+		}
+		_ = sink
+	}
+	// A composed tree must stay allocation-free too.
+	tree := And{
+		Left:  Or{Left: Exists{Path: "/missing"}, Right: HasPrefix{Path: "/s", Prefix: "hel"}},
+		Right: And{Left: FloatCmp{Path: "/n", Op: Gt, Value: 0}, Right: ObjSize{Path: "/nest", Op: Ge, Value: 1}},
+	}
+	c := Compile(tree)
+	if n := testing.AllocsPerRun(200, func() { c.Eval(doc) }); n != 0 {
+		t.Errorf("compiled tree allocates %v per Eval, want 0", n)
+	}
+	// The reusable evaluator is the scan-worker hot path; both entry points
+	// must be allocation-free in steady state.
+	e := c.Evaluator()
+	if n := testing.AllocsPerRun(200, func() { e.Eval(doc) }); n != 0 {
+		t.Errorf("Evaluator.Eval allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { e.EvalAt(&doc) }); n != 0 {
+		t.Errorf("Evaluator.EvalAt allocates %v per call, want 0", n)
+	}
+}
