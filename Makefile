@@ -44,11 +44,13 @@ crash:
 
 check: vet lint race chaos crash bench-short
 
-# Perf suite: compiled predicates vs. the interface-dispatch path plus the
-# shared scan kernel, on a seeded workload. Refreshes the tracked
-# BENCH_5.json (the repo's perf trajectory; see README).
+# Perf suite: compiled predicates vs. the interface-dispatch path, the
+# shared scan kernel, and zone-map shard pruning (the skip= columns show the
+# fraction of documents whose shards were ruled out without evaluation), on
+# a seeded workload. Refreshes the tracked BENCH_6.json (the repo's perf
+# trajectory; see README).
 bench:
-	$(GO) run ./cmd/betze-bench -perf -perf-out BENCH_5.json
+	$(GO) run ./cmd/betze-bench -perf -perf-out BENCH_6.json
 
 # Short perf pass for `make check`: same suite with fewer repeats, stdout
 # only — the tracked artifact is not overwritten.

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/joda-explore/betze/internal/datasets"
@@ -17,15 +18,17 @@ import (
 	"github.com/joda-explore/betze/internal/fsatomic"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/query"
+	"github.com/joda-explore/betze/internal/shard"
 )
 
 // The -perf mode: a seeded, reproducible perf suite for the compiled-query
-// execution layer and the shared scan kernel. Unlike the paper experiments
-// (-exp), which measure the modelled engines against each other, this suite
-// measures the repository's own hot path against its fallback — compiled
-// predicate closures vs. the interface-dispatch evaluator — so performance
-// PRs leave a tracked trajectory (BENCH_<pr>.json) instead of an assertion
-// in a commit message.
+// execution layer, the shared scan kernel and the columnar shard store.
+// Unlike the paper experiments (-exp), which measure the modelled engines
+// against each other, this suite measures the repository's own hot path
+// against its fallback — compiled predicate closures vs. the
+// interface-dispatch evaluator, batched EvalBlock vs. per-document calls,
+// zone-map pruning vs. full scans — so performance PRs leave a tracked
+// trajectory (BENCH_<pr>.json) instead of an assertion in a commit message.
 
 // perfOptions configures one perf-suite run.
 type perfOptions struct {
@@ -53,10 +56,19 @@ type perfReport struct {
 	Seed       int64              `json:"seed"`
 	Docs       int                `json:"docs"`
 	Predicates int                `json:"predicates"`
+	ShardSize  int                `json:"shard_size"`
 	Repeats    int                `json:"repeats"`
 	Results    []perfResult       `json:"results"`
-	Speedups   map[string]float64 `json:"speedups"`
+	// SkipRates records, per drilldown corpus, the fraction of documents
+	// whose shard the zone maps proved matchless (0 = nothing pruned,
+	// 1 = the whole dataset skipped).
+	SkipRates map[string]float64 `json:"skip_rates"`
+	Speedups  map[string]float64 `json:"speedups"`
 }
+
+// perfShardSize is the shard size of the perf suite's stores: small enough
+// that the default 800-document corpus still splits into a dozen shards.
+const perfShardSize = 64
 
 // perfPredicates builds the seeded predicate-heavy workload: AND/OR trees
 // over real Twitter-dataset paths mixing cheap existence/type checks with
@@ -104,6 +116,51 @@ func perfPredicates(seed int64, n int) []query.Predicate {
 		preds[i] = tree(4) // 16 leaves per tree: predicate-heavy
 	}
 	return preds
+}
+
+// drilldownPredicates builds the selective conjunctive workload pruning
+// exploits: every tree constrains /user/followers_count to a narrow band
+// (uniform over [0, 1e6) in the Twitter generator), the shape of a
+// drill-down exploration step. On a corpus clustered by that attribute the
+// band misses most shards' zone ranges entirely.
+func drilldownPredicates(seed int64, n int) []query.Predicate {
+	r := rand.New(rand.NewSource(seed))
+	langs := []string{"en", "de", "ja", "es", "pt"}
+	preds := make([]query.Predicate, n)
+	for i := range preds {
+		lo := float64(r.Intn(940000))
+		band := query.And{
+			Left:  query.FloatCmp{Path: "/user/followers_count", Op: query.Ge, Value: lo},
+			Right: query.FloatCmp{Path: "/user/followers_count", Op: query.Lt, Value: lo + float64(10000+r.Intn(50000))},
+		}
+		switch r.Intn(3) {
+		case 0:
+			preds[i] = band
+		case 1:
+			preds[i] = query.And{Left: band, Right: query.BoolEq{Path: "/user/verified", Value: true}}
+		default:
+			preds[i] = query.And{Left: band, Right: query.StrEq{Path: "/user/lang", Value: langs[r.Intn(len(langs))]}}
+		}
+	}
+	return preds
+}
+
+// clusterByFollowers returns the corpus sorted by /user/followers_count —
+// the data layout a drill-down session converges onto (stored intermediate
+// results of range filters), and the one where zone ranges get narrow.
+func clusterByFollowers(docs []jsonval.Value) []jsonval.Value {
+	steps := jsonval.Path("/user/followers_count").Segments()
+	key := func(d jsonval.Value) float64 {
+		v, ok := jsonval.LookupSteps(d, steps)
+		if !ok {
+			return -1
+		}
+		n, _ := v.Number()
+		return n
+	}
+	out := append([]jsonval.Value(nil), docs...)
+	sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
 }
 
 // perfMeasure runs op repeats times and keeps the fastest pass, the usual
@@ -160,14 +217,16 @@ func runPerf(opts perfOptions, out io.Writer) error {
 	scanOps := int64(len(preds)) * int64(len(docs))
 
 	report := perfReport{
-		Bench:      5,
-		Suite:      "compiled-predicates+scan-kernel",
+		Bench:      6,
+		Suite:      "columnar-shards+zone-map-pruning",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		Seed:       opts.Seed,
 		Docs:       opts.Docs,
 		Predicates: predCount,
+		ShardSize:  perfShardSize,
 		Repeats:    opts.Repeats,
+		SkipRates:  map[string]float64{},
 		Speedups:   map[string]float64{},
 	}
 	add := func(name string, d time.Duration, ops int64) {
@@ -240,10 +299,87 @@ func runPerf(opts perfOptions, out io.Writer) error {
 	}
 	add("scan_stream/sequential", kernelSeq, scanOps)
 
+	// The columnar shard store: batched EvalBlock over whole shards first
+	// (zoneless store — isolates batching from pruning, same predicate set
+	// as predicate_scan/compiled), then zone-map pruning with the selective
+	// drilldown workload on the as-generated corpus and on a corpus
+	// clustered by the drilled attribute.
+	addSkip := func(name string, d time.Duration, ops int64, rateKey string) {
+		rate := report.SkipRates[rateKey]
+		report.Results = append(report.Results, perfResult{Name: name, NsPerOp: nsPerOp(d, ops), Ops: ops})
+		fmt.Fprintf(out, "%-32s %12.1f ns/op  skip=%5.1f%%  (%d ops in %v)\n",
+			name, nsPerOp(d, ops), rate*100, ops, d.Round(time.Microsecond))
+	}
+	skipRate := func(st *shard.Store, cps []query.CompiledPredicate) float64 {
+		var skipped, total int64
+		for _, c := range cps {
+			for s := 0; s < st.NumShards(); s++ {
+				sh := st.Shard(s)
+				total += int64(len(sh.Docs))
+				if c.CanSkip(sh.Zone) {
+					skipped += int64(len(sh.Docs))
+				}
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(skipped) / float64(total)
+	}
+	shardScan := func(st *shard.Store, cps []query.CompiledPredicate, evs []*query.Evaluator, prune bool) func() {
+		keep := make([]bool, perfShardSize)
+		return func() {
+			for pi, e := range evs {
+				for s := 0; s < st.NumShards(); s++ {
+					sh := st.Shard(s)
+					if prune && cps[pi].CanSkip(sh.Zone) {
+						continue
+					}
+					sink = e.EvalBlock(sh.Docs, keep) > 0
+				}
+			}
+		}
+	}
+
+	blockStore := shard.View(docs, perfShardSize)
+	evalblock := perfMeasure(opts.Repeats, shardScan(blockStore, compiled, evals, false))
+	add("shard_scan/evalblock", evalblock, scanOps)
+
+	drills := drilldownPredicates(opts.Seed+1, predCount)
+	drillCompiled := make([]query.CompiledPredicate, len(drills))
+	drillEvals := make([]*query.Evaluator, len(drills))
+	for i, p := range drills {
+		drillCompiled[i] = query.Compile(p)
+		drillEvals[i] = drillCompiled[i].Evaluator()
+	}
+	zonedStore := shard.Build(docs, perfShardSize)
+	clusteredStore := shard.Build(clusterByFollowers(docs), perfShardSize)
+	report.SkipRates["drilldown/unclustered"] = skipRate(zonedStore, drillCompiled)
+	report.SkipRates["drilldown/clustered"] = skipRate(clusteredStore, drillCompiled)
+
+	drillFull := perfMeasure(opts.Repeats, shardScan(zonedStore, drillCompiled, drillEvals, false))
+	add("drilldown_scan/full", drillFull, scanOps)
+	drillPruned := perfMeasure(opts.Repeats, shardScan(zonedStore, drillCompiled, drillEvals, true))
+	addSkip("drilldown_scan/pruned", drillPruned, scanOps, "drilldown/unclustered")
+	drillClustered := perfMeasure(opts.Repeats, shardScan(clusteredStore, drillCompiled, drillEvals, true))
+	addSkip("drilldown_scan/pruned_clustered", drillClustered, scanOps, "drilldown/clustered")
+
 	if comp > 0 {
 		report.Speedups["predicate_scan"] = math.Round(float64(interp)/float64(comp)*100) / 100
 	}
+	if evalblock > 0 {
+		report.Speedups["evalblock_vs_perdoc"] = math.Round(float64(comp)/float64(evalblock)*100) / 100
+	}
+	if drillPruned > 0 {
+		report.Speedups["pruned_vs_full"] = math.Round(float64(drillFull)/float64(drillPruned)*100) / 100
+	}
+	if drillClustered > 0 {
+		report.Speedups["pruned_clustered_vs_full"] = math.Round(float64(drillFull)/float64(drillClustered)*100) / 100
+	}
 	fmt.Fprintf(out, "speedup predicate_scan (interpreted/compiled): %.2fx\n", report.Speedups["predicate_scan"])
+	fmt.Fprintf(out, "speedup evalblock_vs_perdoc (compiled/evalblock): %.2fx\n", report.Speedups["evalblock_vs_perdoc"])
+	fmt.Fprintf(out, "speedup pruned_vs_full (unclustered): %.2fx\n", report.Speedups["pruned_vs_full"])
+	fmt.Fprintf(out, "speedup pruned_clustered_vs_full: %.2fx\n", report.Speedups["pruned_clustered_vs_full"])
 
 	if opts.Out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

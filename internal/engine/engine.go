@@ -36,6 +36,10 @@ type ImportStats struct {
 type ExecStats struct {
 	// Scanned is the number of documents evaluated.
 	Scanned int64
+	// Skipped is the number of documents proven non-matching without
+	// evaluation — their whole shard was ruled out by its zone map.
+	// Scanned + Skipped is the dataset size a pre-pruning scan walked.
+	Skipped int64
 	// Matched is the number of documents passing the filter.
 	Matched int64
 	// Returned is the number of documents written to the sink (result

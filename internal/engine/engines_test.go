@@ -401,8 +401,9 @@ func TestJodaResultCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2raw.Scanned != int64(len(docs)) {
-		t.Errorf("uncached engine scanned %d, want full %d", s2raw.Scanned, len(docs))
+	if s2raw.Scanned+s2raw.Skipped != int64(len(docs)) {
+		t.Errorf("uncached engine walked %d scanned + %d skipped, want full %d",
+			s2raw.Scanned, s2raw.Skipped, len(docs))
 	}
 	if s2raw.Matched != s2.Matched {
 		t.Errorf("cache changed semantics: %d vs %d matches", s2.Matched, s2raw.Matched)
@@ -637,5 +638,58 @@ func TestJodaEvictionFromFile(t *testing.T) {
 	}
 	if first.Matched != second.Matched {
 		t.Errorf("eviction changed file-imported results: %d vs %d", first.Matched, second.Matched)
+	}
+}
+
+// TestShardSkipAccounting pins the pruning stats contract across the fleet:
+// Scanned + Skipped always covers the whole dataset, a predicate no shard
+// can satisfy is answered without evaluating a single document on the
+// zone-mapped engines, and jq — which has no import phase to build zones in —
+// never skips anything.
+func TestShardSkipAccounting(t *testing.T) {
+	docs := corpus(4000, 77)
+	n := int64(len(docs))
+	// Every /score is below 100, so no zone map can admit this range.
+	impossible := query.FloatCmp{Path: "/score", Op: query.Gt, Value: 1000}
+	// The /id values are 0..n-1 in import order, so the clustered minimum
+	// rules out every shard but the first.
+	selective := query.FloatCmp{Path: "/id", Op: query.Lt, Value: 10}
+	ctx := context.Background()
+	for _, e := range allEngines(t, "sk", docs) {
+		imp, err := e.Execute(ctx, &query.Query{ID: "imp", Base: "sk", Filter: impossible}, io.Discard)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if imp.Scanned+imp.Skipped != n {
+			t.Errorf("%s: impossible query scanned %d + skipped %d, want dataset %d",
+				e.Name(), imp.Scanned, imp.Skipped, n)
+		}
+		if imp.Matched != 0 {
+			t.Errorf("%s: impossible query matched %d documents", e.Name(), imp.Matched)
+		}
+		sel, err := e.Execute(ctx, &query.Query{ID: "sel", Base: "sk", Filter: selective}, io.Discard)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if sel.Scanned+sel.Skipped != n {
+			t.Errorf("%s: selective query scanned %d + skipped %d, want dataset %d",
+				e.Name(), sel.Scanned, sel.Skipped, n)
+		}
+		if sel.Matched != 10 {
+			t.Errorf("%s: selective query matched %d, want 10", e.Name(), sel.Matched)
+		}
+		if e.Name() == "jq" {
+			if imp.Skipped != 0 || sel.Skipped != 0 {
+				t.Errorf("jq skipped %d/%d documents without any zone maps", imp.Skipped, sel.Skipped)
+			}
+			continue
+		}
+		if imp.Skipped != n || imp.Scanned != 0 {
+			t.Errorf("%s: impossible query should prune everything, scanned %d skipped %d",
+				e.Name(), imp.Scanned, imp.Skipped)
+		}
+		if sel.Skipped == 0 {
+			t.Errorf("%s: selective query on clustered ids pruned nothing", e.Name())
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/joda-explore/betze/internal/engine/scan"
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/query"
+	"github.com/joda-explore/betze/internal/shard"
 )
 
 // Options configures the engine.
@@ -47,8 +48,8 @@ type Engine struct {
 }
 
 type dataset struct {
-	docs []jsonval.Value // nil while evicted
-	raw  []byte          // retained source bytes for eviction mode
+	store *shard.Store // zone-mapped shards; nil while evicted
+	raw   []byte       // retained source bytes for eviction mode
 }
 
 // New returns an engine with the given options.
@@ -86,8 +87,10 @@ func (e *Engine) CacheHits() int64 {
 	return e.cacheHit
 }
 
-// ImportFile implements engine.Engine: parse once, keep the value trees in
-// memory (and the raw bytes, which back eviction mode).
+// ImportFile implements engine.Engine: parse once, cut the value trees into
+// zone-mapped shards (shard.Build — the one-time zone construction the
+// import pays for every later scan to prune against), and keep the raw
+// bytes when eviction mode needs them.
 func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
 	start := time.Now()
 	var docs []jsonval.Value
@@ -108,7 +111,7 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 		}
 	}
 	e.mu.Lock()
-	e.base[name] = &dataset{docs: docs, raw: raw}
+	e.base[name] = &dataset{store: shard.Build(docs, shard.DefaultSize), raw: raw}
 	e.mu.Unlock()
 	stats := engine.ImportStats{Docs: n, Bytes: bytes, StoredBytes: bytes, Duration: time.Since(start)}
 	engine.ObserveImport(ctx, e.Name(), name, stats, nil)
@@ -117,7 +120,7 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 
 // ImportValues loads an in-memory document slice as a base dataset.
 func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
-	ds := &dataset{docs: docs}
+	ds := &dataset{store: shard.Build(docs, shard.DefaultSize)}
 	if e.opts.Evict {
 		var raw []byte
 		for _, d := range docs {
@@ -131,37 +134,42 @@ func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
 	e.mu.Unlock()
 }
 
-// resolve finds the documents of the query's base dataset together with the
-// residual predicate still to evaluate, reusing the deepest cached ancestor
-// of the composed predicate chain. The hit flag reports whether any cached
-// result (full or ancestor) served the lookup.
-func (e *Engine) resolve(ctx context.Context, baseName string, filter query.Predicate) (docs []jsonval.Value, residual query.Predicate, hit bool, err error) {
+// resolve finds the sharded store of the query's base dataset together with
+// the residual predicate still to evaluate, reusing the deepest cached
+// ancestor of the composed predicate chain. Base datasets come back with
+// their zone maps; derived datasets and cached results come back as views
+// (sharded for the batch kernel but zoneless — they are scanned at most a
+// handful of times, so zone construction would not pay for itself). The hit
+// flag reports whether any cached result (full or ancestor) served the
+// lookup.
+func (e *Engine) resolve(ctx context.Context, baseName string, filter query.Predicate) (st *shard.Store, residual query.Predicate, hit bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if docs, ok := e.derived[baseName]; ok {
-		return docs, filter, false, nil
+		return shard.View(docs, shard.DefaultSize), filter, false, nil
 	}
 	ds, ok := e.base[baseName]
 	if !ok {
 		return nil, nil, false, engine.UnknownDataset("jodasim", baseName)
 	}
-	if ds.docs == nil {
-		// Evicted: re-parse the retained bytes (the re-read cost of a
-		// memory-limited deployment).
+	if ds.store == nil {
+		// Evicted: re-parse the retained bytes and rebuild the shard store,
+		// zone maps included (the re-read cost of a memory-limited
+		// deployment covers re-indexing too).
 		docs, err := e.parseAll(ctx, ds.raw)
 		if err != nil {
 			return nil, nil, false, fmt.Errorf("jodasim: re-parsing evicted dataset %s: %w", baseName, err)
 		}
-		ds.docs = docs
+		ds.store = shard.Build(docs, shard.DefaultSize)
 	}
 	if filter == nil || e.opts.DisableCache {
-		return ds.docs, filter, false, nil
+		return ds.store, filter, false, nil
 	}
 	// Walk the AND-chain from the full predicate towards its prefix,
 	// taking the deepest cached subset.
 	if docs, ok := e.cache[cacheKey(baseName, filter)]; ok {
 		e.cacheHit++
-		return docs, nil, true, nil
+		return shard.View(docs, shard.DefaultSize), nil, true, nil
 	}
 	pred := filter
 	for {
@@ -177,10 +185,10 @@ func (e *Engine) resolve(ctx context.Context, baseName string, filter query.Pred
 		pred = and.Left
 		if docs, ok := e.cache[cacheKey(baseName, pred)]; ok {
 			e.cacheHit++
-			return docs, residual, true, nil
+			return shard.View(docs, shard.DefaultSize), residual, true, nil
 		}
 	}
-	return ds.docs, filter, false, nil
+	return ds.store, filter, false, nil
 }
 
 func cacheKey(base string, pred query.Predicate) string {
@@ -193,7 +201,7 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 		return engine.ExecStats{}, fmt.Errorf("jodasim: %w", err)
 	}
 	start := time.Now()
-	docs, residual, hit, err := e.resolve(ctx, q.Base, q.Filter)
+	st, residual, hit, err := e.resolve(ctx, q.Base, q.Filter)
 	if err != nil {
 		engine.ObserveExec(ctx, e.Name(), q, engine.ExecStats{}, err)
 		return engine.ExecStats{}, err
@@ -201,12 +209,16 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 	if q.Filter != nil && !e.opts.DisableCache {
 		engine.ObserveCache(ctx, e.Name(), q, hit)
 	}
-	matched, err := e.scan(ctx, docs, residual)
+	matched, skipped, err := e.scan(ctx, st, residual)
 	if err != nil {
 		engine.ObserveExec(ctx, e.Name(), q, engine.ExecStats{}, err)
 		return engine.ExecStats{}, err
 	}
-	stats := engine.ExecStats{Scanned: int64(len(docs)), Matched: int64(len(matched))}
+	stats := engine.ExecStats{
+		Scanned: int64(st.Len()) - skipped,
+		Skipped: skipped,
+		Matched: int64(len(matched)),
+	}
 
 	if q.Filter != nil && !e.opts.DisableCache && !e.opts.Evict {
 		e.mu.Lock()
@@ -255,17 +267,35 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (e
 	return stats, nil
 }
 
-// scan filters docs on the shared kernel, compiling the predicate once per
-// query so the per-document work is an allocation-free closure call. The
-// kernel preserves document order and clamps workers to the document count.
-func (e *Engine) scan(ctx context.Context, docs []jsonval.Value, filter query.Predicate) ([]jsonval.Value, error) {
+// scan filters the store on the sharded kernel, compiling the predicate
+// once per query. Shards whose zone map the compiled predicate proves empty
+// are skipped whole (skipped counts their documents); surviving shards are
+// batch-evaluated with one EvalBlock call each, through one per-worker
+// Evaluator so the per-document work is a generation bump and a closure
+// call with zero cross-worker sharing. The kernel preserves document order.
+func (e *Engine) scan(ctx context.Context, st *shard.Store, filter query.Predicate) ([]jsonval.Value, int64, error) {
 	if filter == nil {
-		return docs, nil
+		return st.Docs(), 0, nil
 	}
 	compiled := query.Compile(filter)
-	return scan.Filter(ctx, e.scanOptions(), docs, func(_ int, d jsonval.Value) (bool, error) {
-		return compiled.Eval(d), nil
-	})
+	workers := e.opts.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	evals := make([]*query.Evaluator, workers)
+	return scan.FilterShards(ctx, e.scanOptions(), st.NumShards(),
+		func(i int) ([]jsonval.Value, bool) {
+			sh := st.Shard(i)
+			return sh.Docs, compiled.CanSkip(sh.Zone)
+		},
+		func(w int, docs []jsonval.Value, keep []bool) (int, error) {
+			ev := evals[w]
+			if ev == nil {
+				ev = compiled.Evaluator()
+				evals[w] = ev
+			}
+			return ev.EvalBlock(docs, keep), nil
+		})
 }
 
 func (e *Engine) scanOptions() scan.Options {
@@ -313,7 +343,7 @@ func (e *Engine) evictAll() {
 	defer e.mu.Unlock()
 	for _, ds := range e.base {
 		if ds.raw != nil {
-			ds.docs = nil
+			ds.store = nil
 		}
 	}
 	e.cache = make(map[string][]jsonval.Value)
@@ -324,11 +354,11 @@ func (e *Engine) evictAll() {
 func (e *Engine) CountMatching(base string, pred query.Predicate) (int64, error) {
 	//lint:ignore ctxplumb core.Backend carries no context; resolve and scan read ctx only for cancellation, which generation cannot request
 	ctx := context.Background()
-	docs, residual, _, err := e.resolve(ctx, base, pred)
+	st, residual, _, err := e.resolve(ctx, base, pred)
 	if err != nil {
 		return 0, err
 	}
-	matched, err := e.scan(ctx, docs, residual)
+	matched, _, err := e.scan(ctx, st, residual)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,11 @@
 // explore large sets of JSON files is unfeasible". Stored results become new
 // files in the engine's working directory, which is how jq materialises
 // datasets.
+//
+// jqsim is deliberately the unprunable baseline of the engine fleet: with no
+// import phase there is nowhere to build zone maps, so every query walks the
+// whole file and ExecStats.Skipped stays zero. Comparing its scan counts
+// against the sharded engines isolates what zone-map skipping buys.
 package jqsim
 
 import (

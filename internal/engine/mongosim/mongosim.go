@@ -21,6 +21,7 @@ import (
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/lz"
 	"github.com/joda-explore/betze/internal/query"
+	"github.com/joda-explore/betze/internal/shard"
 )
 
 // DefaultBlockSize is the uncompressed target size of a storage block.
@@ -57,6 +58,11 @@ type block struct {
 	data       []byte // compressed unless the engine disables compression
 	compressed bool
 	docCount   int
+	// zone summarises the block's documents for shard pruning: a query
+	// whose compiled predicate proves the block empty skips it without
+	// even decompressing the data. Built at import time by the block
+	// writer, so it rides along with the encode pass.
+	zone *shard.ZoneMap
 }
 
 // New returns an engine with the given options.
@@ -75,16 +81,22 @@ func New(opts Options) *Engine {
 func (*Engine) Name() string { return "MongoDB" }
 
 // blockWriter accumulates BSON documents and seals blocks at the target
-// size.
+// size, folding each document into the pending block's zone map as it goes.
 type blockWriter struct {
-	opts Options
-	coll *collection
-	buf  []byte
-	n    int
+	opts  Options
+	coll  *collection
+	zones *shard.ZoneBuilder
+	buf   []byte
+	n     int
+}
+
+func newBlockWriter(opts Options, coll *collection) *blockWriter {
+	return &blockWriter{opts: opts, coll: coll, zones: shard.NewZoneBuilder()}
 }
 
 func (w *blockWriter) add(doc jsonval.Value) {
 	w.buf = bsonlite.Encode(w.buf, doc)
+	w.zones.Add(doc)
 	w.n++
 	w.coll.docs++
 	if len(w.buf) >= w.opts.BlockSize {
@@ -96,7 +108,7 @@ func (w *blockWriter) seal() {
 	if w.n == 0 {
 		return
 	}
-	b := block{docCount: w.n}
+	b := block{docCount: w.n, zone: w.zones.Finish()}
 	if w.opts.DisableCompression {
 		b.data = append([]byte(nil), w.buf...)
 	} else {
@@ -112,7 +124,7 @@ func (w *blockWriter) seal() {
 func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.ImportStats, error) {
 	start := time.Now()
 	coll := &collection{}
-	w := &blockWriter{opts: e.opts, coll: coll}
+	w := newBlockWriter(e.opts, coll)
 	docs, rawBytes, err := engine.ReadFile(ctx, path, func(doc jsonval.Value) error {
 		w.add(doc)
 		return nil
@@ -138,7 +150,7 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (engine.Impo
 // ImportValues loads an in-memory document slice as a collection.
 func (e *Engine) ImportValues(name string, docs []jsonval.Value) {
 	coll := &collection{}
-	w := &blockWriter{opts: e.opts, coll: coll}
+	w := newBlockWriter(e.opts, coll)
 	for _, d := range docs {
 		w.add(d)
 	}
@@ -180,86 +192,92 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	var storeColl *collection
 	if q.Store != "" {
 		storeColl = &collection{}
-		storeWriter = &blockWriter{opts: e.opts, coll: storeColl}
+		storeWriter = newBlockWriter(e.opts, storeColl)
 	}
 
-	// The walk runs on the sequential scan kernel (MongoDB's modelled
-	// execution is single-threaded); the step closure advances a block
-	// cursor, decompressing each block on first touch. FullDecode mode
-	// evaluates the compiled predicate over materialised documents; the
-	// default mode keeps the lazy per-leaf walks over raw BSON.
+	// The walk runs on the sequential shard kernel (MongoDB's modelled
+	// execution is single-threaded), one block per step. A block whose zone
+	// map rules out every document is skipped without being decompressed —
+	// the pruning win here is the whole flate inflate, not just the per-
+	// document predicate calls. FullDecode mode evaluates the compiled
+	// predicate over materialised documents; the default mode keeps the
+	// lazy per-leaf walks over raw BSON.
 	compiled := query.Compile(q.Filter)
 	var outBuf []byte
-	var (
-		bi  int
-		raw []byte
-		off int
-	)
-	if _, err := scan.Stream(ctx, scan.Options{Engine: e.Name()}, int(coll.docs), func(int) (bool, error) {
-		for off >= len(raw) {
-			opened, oerr := coll.blocks[bi].open()
+	if _, err := scan.StreamShards(ctx, scan.Options{Engine: e.Name()}, len(coll.blocks),
+		func(i int) bool {
+			if !compiled.CanSkip(coll.blocks[i].zone) {
+				return false
+			}
+			stats.Skipped += int64(coll.blocks[i].docCount)
+			return true
+		},
+		func(i int) (int64, error) {
+			raw, oerr := coll.blocks[i].open()
 			if oerr != nil {
-				return false, fmt.Errorf("mongosim: opening block: %w", oerr)
+				return 0, fmt.Errorf("mongosim: opening block: %w", oerr)
 			}
-			bi++
-			raw, off = opened, 0
-		}
-		docLen, derr := docLength(raw[off:])
-		if derr != nil {
-			return false, derr
-		}
-		doc := raw[off : off+docLen]
-		off += docLen
-		stats.Scanned++
-		var match bool
-		if e.opts.FullDecode {
-			v, verr := bsonlite.Decode(doc)
-			if verr != nil {
-				return false, fmt.Errorf("mongosim: decoding document: %w", verr)
+			var walked int64
+			off := 0
+			for d := 0; d < coll.blocks[i].docCount; d++ {
+				docLen, derr := docLength(raw[off:])
+				if derr != nil {
+					return walked, derr
+				}
+				doc := raw[off : off+docLen]
+				off += docLen
+				stats.Scanned++
+				walked++
+				var match bool
+				if e.opts.FullDecode {
+					v, verr := bsonlite.Decode(doc)
+					if verr != nil {
+						return walked, fmt.Errorf("mongosim: decoding document: %w", verr)
+					}
+					match = compiled.Eval(v)
+				} else {
+					var ferr error
+					match, ferr = evalFilter(doc, q.Filter)
+					if ferr != nil {
+						return walked, ferr
+					}
+				}
+				if !match {
+					continue
+				}
+				stats.Matched++
+				switch {
+				case agg != nil && q.Transform == nil:
+					if aerr := addLazy(agg, doc, q.Agg); aerr != nil {
+						return walked, aerr
+					}
+				case agg != nil:
+					// Transform stages force materialisation, as $set/$unset
+					// pipelines do.
+					v, merr := e.materialise(doc, q)
+					if merr != nil {
+						return walked, merr
+					}
+					agg.Add(q.ApplyTransform(v))
+				default:
+					v, merr := e.materialise(doc, q)
+					if merr != nil {
+						return walked, merr
+					}
+					v = q.ApplyTransform(v)
+					if storeWriter != nil {
+						storeWriter.add(v)
+					}
+					n, werr := engine.WriteDoc(sink, &outBuf, v)
+					if werr != nil {
+						return walked, werr
+					}
+					stats.Returned++
+					stats.OutputBytes += n
+				}
 			}
-			match = compiled.Eval(v)
-		} else {
-			var ferr error
-			match, ferr = evalFilter(doc, q.Filter)
-			if ferr != nil {
-				return false, ferr
-			}
-		}
-		if !match {
-			return true, nil
-		}
-		stats.Matched++
-		switch {
-		case agg != nil && q.Transform == nil:
-			if aerr := addLazy(agg, doc, q.Agg); aerr != nil {
-				return false, aerr
-			}
-		case agg != nil:
-			// Transform stages force materialisation, as $set/$unset
-			// pipelines do.
-			v, merr := e.materialise(doc, q)
-			if merr != nil {
-				return false, merr
-			}
-			agg.Add(q.ApplyTransform(v))
-		default:
-			v, merr := e.materialise(doc, q)
-			if merr != nil {
-				return false, merr
-			}
-			v = q.ApplyTransform(v)
-			if storeWriter != nil {
-				storeWriter.add(v)
-			}
-			n, werr := engine.WriteDoc(sink, &outBuf, v)
-			if werr != nil {
-				return false, werr
-			}
-			stats.Returned++
-			stats.OutputBytes += n
-		}
-		return true, nil
-	}); err != nil {
+			return walked, nil
+		}); err != nil {
 		return stats, err
 	}
 	if agg != nil {

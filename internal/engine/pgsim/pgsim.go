@@ -32,6 +32,7 @@ import (
 	"github.com/joda-explore/betze/internal/jsonval"
 	"github.com/joda-explore/betze/internal/lz"
 	"github.com/joda-explore/betze/internal/query"
+	"github.com/joda-explore/betze/internal/shard"
 )
 
 // DefaultToastThreshold mirrors PostgreSQL's ~2 KB TOAST threshold.
@@ -59,11 +60,53 @@ type Engine struct {
 
 type table struct {
 	rows []row
+	// shards are BRIN-style block ranges: each covers rows[start:end] and
+	// carries a zone map summarising those rows, so a scan can rule out a
+	// whole range without detoasting a single row in it.
+	shards []rowShard
+}
+
+type rowShard struct {
+	start, end int
+	zone       *shard.ZoneMap
 }
 
 type row struct {
 	data       []byte
 	compressed bool
+}
+
+// tableBuilder accumulates encoded rows and seals a zone-mapped row shard
+// every shard.DefaultSize rows.
+type tableBuilder struct {
+	tbl   *table
+	zones *shard.ZoneBuilder
+	start int
+}
+
+func newTableBuilder() *tableBuilder {
+	return &tableBuilder{tbl: &table{}, zones: shard.NewZoneBuilder()}
+}
+
+func (b *tableBuilder) add(doc jsonval.Value, r row) {
+	b.tbl.rows = append(b.tbl.rows, r)
+	b.zones.Add(doc)
+	if len(b.tbl.rows)-b.start >= shard.DefaultSize {
+		b.seal()
+	}
+}
+
+func (b *tableBuilder) seal() {
+	if len(b.tbl.rows) == b.start {
+		return
+	}
+	b.tbl.shards = append(b.tbl.shards, rowShard{start: b.start, end: len(b.tbl.rows), zone: b.zones.Finish()})
+	b.start = len(b.tbl.rows)
+}
+
+func (b *tableBuilder) finish() *table {
+	b.seal()
+	return b.tbl
 }
 
 // New returns an engine with the given options.
@@ -121,7 +164,7 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (stats engin
 	}
 	dec := json.NewDecoder(bufio.NewReaderSize(f, 256*1024))
 	dec.UseNumber() // numerics stay exact, as PostgreSQL's numeric does
-	tbl := &table{}
+	tb := newTableBuilder()
 	var docs int64
 	for {
 		if err := engine.Cancelled(ctx, docs); err != nil {
@@ -141,9 +184,10 @@ func (e *Engine) ImportFile(ctx context.Context, name, path string) (stats engin
 		if err != nil {
 			return engine.ImportStats{}, fmt.Errorf("pgsim: importing %s (row %d): %w", path, docs+1, err)
 		}
-		tbl.rows = append(tbl.rows, r)
+		tb.add(doc, r)
 		docs++
 	}
+	tbl := tb.finish()
 	e.mu.Lock()
 	e.tables[name] = tbl
 	e.mu.Unlock()
@@ -203,16 +247,16 @@ func fromGeneric(v any) (jsonval.Value, error) {
 
 // ImportValues loads an in-memory document slice as a table.
 func (e *Engine) ImportValues(name string, docs []jsonval.Value) error {
-	tbl := &table{rows: make([]row, 0, len(docs))}
+	tb := newTableBuilder()
 	for i, d := range docs {
 		r, err := e.encodeRow(d)
 		if err != nil {
 			return fmt.Errorf("pgsim: importing %s (row %d): %w", name, i+1, err)
 		}
-		tbl.rows = append(tbl.rows, r)
+		tb.add(d, r)
 	}
 	e.mu.Lock()
-	e.tables[name] = tbl
+	e.tables[name] = tb.finish()
 	e.mu.Unlock()
 	return nil
 }
@@ -237,61 +281,80 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	if q.Agg != nil {
 		agg = query.NewAggregator(*q.Agg)
 	}
-	// The row walk runs on the sequential scan kernel (PostgreSQL's
-	// modelled execution is single-threaded). FullDecode mode evaluates
-	// the compiled predicate over materialised rows; the default mode
-	// keeps the per-leaf detoast + binary-searched lookups.
+	// The row walk runs on the sequential shard kernel (PostgreSQL's
+	// modelled execution is single-threaded), one BRIN-style row range per
+	// step: a range whose zone map rules out every row is skipped without
+	// detoasting any of it. FullDecode mode evaluates the compiled
+	// predicate over materialised rows; the default mode keeps the
+	// per-leaf detoast + binary-searched lookups.
 	compiled := query.Compile(q.Filter)
-	var storeRows []row
+	var storeTB *tableBuilder
+	if q.Store != "" {
+		storeTB = newTableBuilder()
+	}
 	var outBuf []byte
-	if _, err := scan.Stream(ctx, scan.Options{Engine: e.Name()}, len(tbl.rows), func(i int) (bool, error) {
-		r := tbl.rows[i]
-		stats.Scanned++
-		var match bool
-		if e.opts.FullDecode {
-			data, derr := r.open()
-			if derr != nil {
-				return false, fmt.Errorf("pgsim: detoasting row: %w", derr)
+	if _, err := scan.StreamShards(ctx, scan.Options{Engine: e.Name()}, len(tbl.shards),
+		func(i int) bool {
+			sh := tbl.shards[i]
+			if !compiled.CanSkip(sh.zone) {
+				return false
 			}
-			doc, derr := jsonblite.Decode(data)
-			if derr != nil {
-				return false, fmt.Errorf("pgsim: decoding row: %w", derr)
+			stats.Skipped += int64(sh.end - sh.start)
+			return true
+		},
+		func(i int) (int64, error) {
+			sh := tbl.shards[i]
+			var walked int64
+			for ri := sh.start; ri < sh.end; ri++ {
+				r := tbl.rows[ri]
+				stats.Scanned++
+				walked++
+				var match bool
+				if e.opts.FullDecode {
+					data, derr := r.open()
+					if derr != nil {
+						return walked, fmt.Errorf("pgsim: detoasting row: %w", derr)
+					}
+					doc, derr := jsonblite.Decode(data)
+					if derr != nil {
+						return walked, fmt.Errorf("pgsim: decoding row: %w", derr)
+					}
+					match = compiled.Eval(doc)
+				} else {
+					var ferr error
+					match, ferr = evalRow(r, q.Filter)
+					if ferr != nil {
+						return walked, ferr
+					}
+				}
+				if !match {
+					continue
+				}
+				stats.Matched++
+				// Producing output (or aggregating) accesses the whole value:
+				// one more detoast plus a decode, as returning jsonb does.
+				data, derr := r.open()
+				if derr != nil {
+					return walked, fmt.Errorf("pgsim: detoasting row: %w", derr)
+				}
+				doc, derr := jsonblite.Decode(data)
+				if derr != nil {
+					return walked, fmt.Errorf("pgsim: decoding row: %w", derr)
+				}
+				if q.Transform != nil {
+					doc = q.Transform.Apply(doc)
+					// The stored/output value is rebuilt, as jsonb_set does.
+					r, derr = e.encodeRow(doc)
+					if derr != nil {
+						return walked, fmt.Errorf("pgsim: transforming row: %w", derr)
+					}
+				}
+				if eerr := e.emit(q, doc, r, storeTB, agg, sink, &outBuf, &stats); eerr != nil {
+					return walked, eerr
+				}
 			}
-			match = compiled.Eval(doc)
-		} else {
-			var ferr error
-			match, ferr = evalRow(r, q.Filter)
-			if ferr != nil {
-				return false, ferr
-			}
-		}
-		if !match {
-			return true, nil
-		}
-		stats.Matched++
-		// Producing output (or aggregating) accesses the whole value:
-		// one more detoast plus a decode, as returning jsonb does.
-		data, derr := r.open()
-		if derr != nil {
-			return false, fmt.Errorf("pgsim: detoasting row: %w", derr)
-		}
-		doc, derr := jsonblite.Decode(data)
-		if derr != nil {
-			return false, fmt.Errorf("pgsim: decoding row: %w", derr)
-		}
-		if q.Transform != nil {
-			doc = q.Transform.Apply(doc)
-			// The stored/output value is rebuilt, as jsonb_set does.
-			r, derr = e.encodeRow(doc)
-			if derr != nil {
-				return false, fmt.Errorf("pgsim: transforming row: %w", derr)
-			}
-		}
-		if eerr := e.emit(q, doc, r, &storeRows, agg, sink, &outBuf, &stats); eerr != nil {
-			return false, eerr
-		}
-		return true, nil
-	}); err != nil {
+			return walked, nil
+		}); err != nil {
 		return stats, err
 	}
 	if agg != nil {
@@ -305,9 +368,9 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 			stats.OutputBytes += n
 		}
 	}
-	if q.Store != "" {
+	if storeTB != nil {
 		e.mu.Lock()
-		e.tables[q.Store] = &table{rows: storeRows}
+		e.tables[q.Store] = storeTB.finish()
 		e.derived[q.Store] = true
 		e.mu.Unlock()
 	}
@@ -316,13 +379,13 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 }
 
 // emit handles one matching row: aggregate, store, or output.
-func (e *Engine) emit(q *query.Query, doc jsonval.Value, r row, storeRows *[]row, agg *query.Aggregator, sink io.Writer, outBuf *[]byte, stats *engine.ExecStats) error {
+func (e *Engine) emit(q *query.Query, doc jsonval.Value, r row, storeTB *tableBuilder, agg *query.Aggregator, sink io.Writer, outBuf *[]byte, stats *engine.ExecStats) error {
 	if agg != nil {
 		agg.Add(doc)
 		return nil
 	}
-	if q.Store != "" {
-		*storeRows = append(*storeRows, r)
+	if storeTB != nil {
+		storeTB.add(doc, r)
 	}
 	n, err := engine.WriteDoc(sink, outBuf, doc)
 	if err != nil {

@@ -185,6 +185,106 @@ func mergeRuns[T any](perWorker [][]run[T]) []T {
 	return out
 }
 
+// FilterShards is Filter at shard granularity: the unit of work handed to a
+// worker is one whole shard, evaluated by a single eval call into a
+// per-worker reusable keep buffer — one indirect call per shard instead of
+// one per document. shard returns shard i's items plus a skip verdict
+// (typically a zone-map prune proof); skipped shards are never evaluated
+// but their item counts are summed into the returned skipped total. eval
+// receives a stable worker index in [0, workers) so callers can pin
+// per-worker state (e.g. a query.Evaluator) without locking; its keep
+// buffer is valid only for the duration of the call. Kept items are
+// returned in document order. Cancellation is checked once per claimed
+// shard, so a cancel lands mid-scan at shard granularity.
+func FilterShards[T any](ctx context.Context, o Options, ns int,
+	shard func(i int) (items []T, skip bool),
+	eval func(worker int, items []T, keep []bool) (int, error),
+) ([]T, int64, error) {
+	workers, _ := plan(o, ns)
+	c := &cursorLoop{n: ns, batch: 1}
+	runs := make([][]run[T], workers)
+	var items, scanned, skippedShards, skippedItems atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var keep []bool
+			c.work(ctx, func(start, end int) int {
+				for i := start; i < end; i++ {
+					docs, skip := shard(i)
+					if skip {
+						skippedShards.Add(1)
+						skippedItems.Add(int64(len(docs)))
+						continue
+					}
+					scanned.Add(1)
+					items.Add(int64(len(docs)))
+					if cap(keep) < len(docs) {
+						keep = make([]bool, len(docs))
+					}
+					kb := keep[:len(docs)]
+					n, err := eval(w, docs, kb)
+					if err != nil {
+						c.fail(i, err)
+						return i
+					}
+					if n > 0 {
+						kept := make([]T, 0, n)
+						for j := range docs {
+							if kb[j] {
+								kept = append(kept, docs[j])
+							}
+						}
+						runs[w] = append(runs[w], run[T]{start: i, items: kept})
+					}
+				}
+				return end
+			})
+		}(w)
+	}
+	wg.Wait()
+	observeShards(ctx, o, obs.KindParallel, workers, items.Load(), c.batches.Load(), scanned.Load(), skippedShards.Load(), c.firstEr)
+	if c.firstEr != nil {
+		return nil, 0, c.firstEr
+	}
+	return mergeRuns(runs), skippedItems.Load(), nil
+}
+
+// StreamShards is the sequential shard walk for the engines whose modelled
+// system is single-threaded: shard i is either skipped (skip true — a
+// zone-map prune proof; body is never called for it) or walked by body,
+// which returns the item count it consumed. Cancellation is checked once
+// per shard. StreamShards returns the number of shards skipped; callers
+// track skipped item counts themselves, since only they know a skipped
+// shard's size without opening it.
+func StreamShards(ctx context.Context, o Options, ns int,
+	skip func(i int) bool,
+	body func(i int) (int64, error),
+) (skippedShards int64, err error) {
+	var items, scanned, skipped int64
+	defer func() {
+		observeShards(ctx, o, obs.KindSequential, 1, items, scanned+skipped, scanned, skipped, err)
+	}()
+	for i := 0; i < ns; i++ {
+		if err = ctx.Err(); err != nil {
+			return skipped, err
+		}
+		if skip(i) {
+			skipped++
+			continue
+		}
+		scanned++
+		n, berr := body(i)
+		items += n
+		if berr != nil {
+			err = berr
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
 // Map scans items with workers goroutines, producing one output per input
 // at the same index. fn may be called from multiple goroutines
 // concurrently; an error aborts the scan and the partial output is
@@ -265,11 +365,34 @@ func observe(ctx context.Context, o Options, kind string, workers int, items, ba
 	sc.Counter(obs.MScanItems).Add(items)
 	sc.Counter(obs.MScanBatches).Add(batches)
 	sc.Counter(obs.MScanWorkers).Add(int64(workers))
+	sc.Record(scanEvent(o, kind, workers, items, 0, err, sc))
+}
+
+// observeShards is observe for the shard kernels: the same scan.* counters
+// plus the shard accounting — scanned and skipped shard counters and the
+// Skipped field on the trace event.
+func observeShards(ctx context.Context, o Options, kind string, workers int, items, batches, shardsScanned, shardsSkipped int64, err error) {
+	sc := obs.From(ctx)
+	if !sc.Enabled() {
+		return
+	}
+	sc.Counter(obs.MScanItems).Add(items)
+	sc.Counter(obs.MScanBatches).Add(batches)
+	sc.Counter(obs.MScanWorkers).Add(int64(workers))
+	sc.Counter(obs.MScanShardsScanned).Add(shardsScanned)
+	sc.Counter(obs.MScanShardsSkipped).Add(shardsSkipped)
+	sc.Record(scanEvent(o, kind, workers, items, shardsSkipped, err, sc))
+}
+
+// scanEvent assembles the scan trace event shared by both observers, bumping
+// the cancel counter for cancelled passes.
+func scanEvent(o Options, kind string, workers int, items, skipped int64, err error, sc obs.Scope) obs.Event {
 	ev := obs.Event{
 		Type:    obs.EvScan,
 		Engine:  o.Engine,
 		Kind:    kind,
 		Scanned: items,
+		Skipped: skipped,
 		Workers: workers,
 	}
 	if err != nil {
@@ -278,5 +401,5 @@ func observe(ctx context.Context, o Options, kind string, workers int, items, ba
 			sc.Counter(obs.MScanCancels).Inc()
 		}
 	}
-	sc.Record(ev)
+	return ev
 }

@@ -1,0 +1,304 @@
+package scan_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine/scan"
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// cut slices items into size-length shards (last one shorter), the shape
+// FilterShards consumes.
+func cut(items []int, size int) [][]int {
+	var shards [][]int
+	for start := 0; start < len(items); start += size {
+		end := start + size
+		if end > len(items) {
+			end = len(items)
+		}
+		shards = append(shards, items[start:end])
+	}
+	return shards
+}
+
+// TestFilterShardsChunkBoundaries is the chunk-boundary/order-preservation
+// regression: shard size 1, shard size larger than the dataset, and a
+// dataset that is not a multiple of the shard size must all produce exactly
+// the sequential reference result, with sound skips (shards containing no
+// match) changing nothing.
+func TestFilterShardsChunkBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for _, n := range []int{0, 1, 7, 100, 257} {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = r.Intn(1000)
+		}
+		keepItem := func(v int) bool { return v%3 == 0 }
+		var want []int
+		for _, v := range items {
+			if keepItem(v) {
+				want = append(want, v)
+			}
+		}
+		for _, size := range []int{1, 4, 10, n + 1} {
+			if size < 1 {
+				size = 1
+			}
+			shards := cut(items, size)
+			for _, workers := range []int{1, 4} {
+				// A shard is "prunable" when no item in it matches —
+				// exactly the guarantee a sound zone map gives.
+				got, skipped, err := scan.FilterShards(context.Background(), scan.Options{Workers: workers}, len(shards),
+					func(i int) ([]int, bool) {
+						prunable := true
+						for _, v := range shards[i] {
+							if keepItem(v) {
+								prunable = false
+								break
+							}
+						}
+						return shards[i], prunable
+					},
+					func(w int, docs []int, keep []bool) (int, error) {
+						matched := 0
+						for j, v := range docs {
+							keep[j] = keepItem(v)
+							if keep[j] {
+								matched++
+							}
+						}
+						return matched, nil
+					})
+				if err != nil {
+					t.Fatalf("n=%d size=%d workers=%d: %v", n, size, workers, err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("n=%d size=%d workers=%d: kept %v, want %v", n, size, workers, got, want)
+				}
+				if skipped < 0 || int(skipped) > n {
+					t.Fatalf("n=%d size=%d: skipped %d items out of %d", n, size, skipped, n)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterShardsSkippedItemCount checks the skipped-items accounting: the
+// kernel sums the sizes of skipped shards without evaluating them.
+func TestFilterShardsSkippedItemCount(t *testing.T) {
+	shards := cut(ints(100), 7) // 15 shards: 14×7 + 1×2
+	var evaluated atomic.Int64
+	got, skipped, err := scan.FilterShards(context.Background(), scan.Options{Workers: 4}, len(shards),
+		func(i int) ([]int, bool) { return shards[i], i%2 == 1 },
+		func(w int, docs []int, keep []bool) (int, error) {
+			evaluated.Add(int64(len(docs)))
+			for j := range docs {
+				keep[j] = true
+			}
+			return len(docs), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSkip, wantKeep int64
+	for i, sh := range shards {
+		if i%2 == 1 {
+			wantSkip += int64(len(sh))
+		} else {
+			wantKeep += int64(len(sh))
+		}
+	}
+	if skipped != wantSkip {
+		t.Errorf("skipped = %d, want %d", skipped, wantSkip)
+	}
+	if evaluated.Load() != wantKeep || int64(len(got)) != wantKeep {
+		t.Errorf("evaluated %d kept %d, want %d", evaluated.Load(), len(got), wantKeep)
+	}
+}
+
+// TestFilterShardsWorkerIndex pins the per-worker state contract: eval's
+// worker argument stays inside [0, Workers) so callers can pre-size
+// per-worker evaluator slots.
+func TestFilterShardsWorkerIndex(t *testing.T) {
+	const workers = 3
+	shards := cut(ints(500), 5)
+	var bad atomic.Int64
+	_, _, err := scan.FilterShards(context.Background(), scan.Options{Workers: workers}, len(shards),
+		func(i int) ([]int, bool) { return shards[i], false },
+		func(w int, docs []int, keep []bool) (int, error) {
+			if w < 0 || w >= workers {
+				bad.Store(int64(w) + 1)
+			}
+			for j := range docs {
+				keep[j] = false
+			}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := bad.Load(); b != 0 {
+		t.Fatalf("eval saw worker index %d, want [0, %d)", b-1, workers)
+	}
+}
+
+func TestFilterShardsReportsLowestIndexError(t *testing.T) {
+	shards := cut(ints(64), 2)
+	boom := errors.New("boom")
+	for round := 0; round < 20; round++ {
+		_, _, err := scan.FilterShards(context.Background(), scan.Options{Workers: 8}, len(shards),
+			func(i int) ([]int, bool) { return shards[i], false },
+			func(w int, docs []int, keep []bool) (int, error) {
+				if docs[0] >= 10 { // shards 5+ all fail; lowest must win
+					return 0, fmt.Errorf("shard starting at %d: %w", docs[0], boom)
+				}
+				for j := range docs {
+					keep[j] = false
+				}
+				return 0, nil
+			})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+		if got := err.Error(); got != "shard starting at 10: boom" {
+			t.Fatalf("round %d: non-lowest error reported: %q", round, got)
+		}
+	}
+}
+
+func TestStreamShardsSkipsAndCounts(t *testing.T) {
+	shards := cut(ints(50), 8) // 7 shards
+	var walked []int
+	skipped, err := scan.StreamShards(context.Background(), scan.Options{}, len(shards),
+		func(i int) bool { return i == 1 || i == 4 },
+		func(i int) (int64, error) {
+			walked = append(walked, i)
+			return int64(len(shards[i])), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if fmt.Sprint(walked) != fmt.Sprint([]int{0, 2, 3, 5, 6}) {
+		t.Errorf("walked %v", walked)
+	}
+}
+
+func TestStreamShardsStopsOnBodyError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	_, err := scan.StreamShards(context.Background(), scan.Options{}, 10,
+		func(i int) bool { return false },
+		func(i int) (int64, error) {
+			calls++
+			if i == 3 {
+				return 0, boom
+			}
+			return 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("body ran %d times after an error at shard 3", calls)
+	}
+}
+
+// TestShardScansEmitObsVocabulary checks the shard kernels' observability:
+// the scan.shards_* counters and the Skipped field of the scan event.
+func TestShardScansEmitObsVocabulary(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	rec.SetClock(func() time.Time { return time.Unix(0, 0) })
+	ctx := obs.With(context.Background(), obs.Scope{Metrics: reg, Trace: rec})
+
+	shards := cut(ints(100), 10) // 10 shards of 10
+	if _, _, err := scan.FilterShards(ctx, scan.Options{Workers: 2, Engine: "joda"}, len(shards),
+		func(i int) ([]int, bool) { return shards[i], i < 4 }, // skip 4, scan 6
+		func(w int, docs []int, keep []bool) (int, error) {
+			for j := range docs {
+				keep[j] = true
+			}
+			return len(docs), nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.StreamShards(ctx, scan.Options{Engine: "mongodb"}, 5,
+		func(i int) bool { return i == 0 }, // skip 1, scan 4
+		func(i int) (int64, error) { return 10, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter(obs.MScanShardsScanned).Value(); got != 10 {
+		t.Errorf("%s = %d, want 10", obs.MScanShardsScanned, got)
+	}
+	if got := reg.Counter(obs.MScanShardsSkipped).Value(); got != 5 {
+		t.Errorf("%s = %d, want 5", obs.MScanShardsSkipped, got)
+	}
+	if got := reg.Counter(obs.MScanItems).Value(); got != 100 {
+		t.Errorf("%s = %d, want 100 (60 parallel + 40 sequential)", obs.MScanItems, got)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(events))
+	}
+	par, seq := events[0], events[1]
+	if par.Type != obs.EvScan || par.Kind != obs.KindParallel || par.Engine != "joda" || par.Scanned != 60 || par.Skipped != 4 {
+		t.Errorf("parallel event = %+v", par)
+	}
+	if seq.Type != obs.EvScan || seq.Kind != obs.KindSequential || seq.Engine != "mongodb" || seq.Scanned != 40 || seq.Skipped != 1 {
+		t.Errorf("sequential event = %+v", seq)
+	}
+}
+
+// TestFilterShardsConcurrentCancelMidShard is the race-detector exercise:
+// several sharded scans run concurrently, each cancelled from inside an
+// eval call (mid-shard), while a zone-style skip function runs on other
+// shards. Run with -race (make race) this covers the kernel's cursor,
+// error path and per-worker buffers under cancellation.
+func TestFilterShardsConcurrentCancelMidShard(t *testing.T) {
+	shards := cut(ints(2000), 5) // 400 shards
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var seen atomic.Int64
+			_, _, err := scan.FilterShards(ctx, scan.Options{Workers: 4}, len(shards),
+				func(i int) ([]int, bool) { return shards[i], i%7 == int(seen.Load())%7 },
+				func(w int, docs []int, keep []bool) (int, error) {
+					if seen.Add(1) == int64(3+g) {
+						cancel() // mid-shard: the claim loop detects it on the next claim
+					}
+					for j := range docs {
+						keep[j] = docs[j]%2 == 0
+					}
+					return len(docs) / 2, nil
+				})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("goroutine %d: err = %v", g, err)
+			}
+			if err == nil {
+				t.Errorf("goroutine %d: cancellation mid-shard went unnoticed across %d shards", g, len(shards))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -9,9 +9,10 @@ import (
 // DeterminismScope are the import-path segments of the packages whose
 // output must be byte-deterministic from a seed: the generator core, the
 // query model, the dataset analyzer, the language translators, the
-// synthetic dataset sources, the fault injector, and the shared scan kernel.
-// The harness and the engines legitimately read wall clocks (they measure);
-// these packages must not.
+// synthetic dataset sources, the fault injector, the shared scan kernel,
+// and the columnar shard store (zone maps feed pruning decisions, which
+// feed scan counters in benchmark output). The harness and the engines
+// legitimately read wall clocks (they measure); these packages must not.
 var DeterminismScope = []string{
 	"internal/core",
 	"internal/query",
@@ -20,6 +21,7 @@ var DeterminismScope = []string{
 	"internal/datasets",
 	"internal/faultsim",
 	"internal/engine/scan",
+	"internal/shard",
 }
 
 // globalRandFuncs are the package-level math/rand functions backed by the

@@ -341,6 +341,7 @@ func (b *trieBuilder) frozen() *resolver {
 // interchangeable in tests and tools.
 type CompiledPredicate struct {
 	fn   evalFunc
+	pfn  pruneFunc
 	res  *resolver
 	cost int
 	src  Predicate
@@ -360,11 +361,12 @@ func Compile(p Predicate) CompiledPredicate {
 		konst := n.constVal
 		return CompiledPredicate{
 			fn:   func(*scratch) bool { return konst },
+			pfn:  constPrune(konst),
 			cost: 0,
 			src:  p,
 		}
 	}
-	return CompiledPredicate{fn: n.fn, res: b.frozen(), cost: n.cost, src: p}
+	return CompiledPredicate{fn: n.fn, pfn: n.prune, res: b.frozen(), cost: n.cost, src: p}
 }
 
 // Eval implements Predicate. A zero CompiledPredicate matches everything.
@@ -433,6 +435,36 @@ func (e *Evaluator) EvalAt(doc *jsonval.Value) bool {
 	return e.fn(&e.sc)
 }
 
+// EvalBlock evaluates one whole block of documents in a single call,
+// writing per-document verdicts into keep (which must be at least
+// len(docs) long) and returning the match count. This is the batch entry
+// point sharded scans use: one indirect call per shard instead of one per
+// document, with the per-document loop reduced to a generation bump, a
+// pointer store and the compiled closure. Allocates nothing.
+func (e *Evaluator) EvalBlock(docs []jsonval.Value, keep []bool) int {
+	if len(keep) < len(docs) {
+		panic("query: EvalBlock keep buffer shorter than the document block")
+	}
+	if e.fn == nil {
+		for i := range docs {
+			keep[i] = true
+		}
+		return len(docs)
+	}
+	sc, fn := &e.sc, e.fn
+	matched := 0
+	for i := range docs {
+		sc.gen++
+		sc.doc = &docs[i]
+		ok := fn(sc)
+		keep[i] = ok
+		if ok {
+			matched++
+		}
+	}
+	return matched
+}
+
 // Matches reports whether doc passes the compiled filter; it is Eval under
 // the name engines use for whole-query matching.
 func (c CompiledPredicate) Matches(doc jsonval.Value) bool { return c.Eval(doc) }
@@ -456,9 +488,11 @@ func (c CompiledPredicate) String() string {
 }
 
 // node is one compiled subtree: either a closure with a cost, or a folded
-// constant.
+// constant. prune, when non-nil, is the subtree's shard-prune proof (see
+// prune.go); a nil prune means the subtree can never rule a shard out.
 type node struct {
 	fn       evalFunc
+	prune    pruneFunc
 	cost     int
 	isConst  bool
 	constVal bool
@@ -490,8 +524,10 @@ func compileNode(b *trieBuilder, p Predicate) node {
 		}
 		lf, rf := l.fn, r.fn
 		return node{
-			fn:   func(sc *scratch) bool { return lf(sc) && rf(sc) },
-			cost: l.cost + r.cost + costBranch,
+			fn: func(sc *scratch) bool { return lf(sc) && rf(sc) },
+			// Either operand alone can prove the conjunction empty.
+			prune: orPrune(l.prune, r.prune),
+			cost:  l.cost + r.cost + costBranch,
 		}
 	case Or:
 		l, r := compileNode(b, n.Left), compileNode(b, n.Right)
@@ -512,8 +548,10 @@ func compileNode(b *trieBuilder, p Predicate) node {
 		}
 		lf, rf := l.fn, r.fn
 		return node{
-			fn:   func(sc *scratch) bool { return lf(sc) || rf(sc) },
-			cost: l.cost + r.cost + costBranch,
+			fn: func(sc *scratch) bool { return lf(sc) || rf(sc) },
+			// A disjunction is only provably empty when both halves are.
+			prune: andPrune(l.prune, r.prune),
+			cost:  l.cost + r.cost + costBranch,
 		}
 	case CompiledPredicate:
 		// An already-compiled subtree is recompiled from its source so its
@@ -542,7 +580,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			// EXISTS('/') — the root always exists.
 			return constNode(true)
 		}
-		return pathLeaf(b, costExists, n.Path,
+		return pathLeaf(b, costExists, n.Path, zoneExists,
 			func(_ *jsonval.Value, ok bool) bool { return ok },
 			func(res *resolver, idx int32) evalFunc {
 				return func(sc *scratch) bool {
@@ -550,7 +588,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 				}
 			})
 	case IsString:
-		return pathLeaf(b, costTypeOnly, n.Path,
+		return pathLeaf(b, costTypeOnly, n.Path, zoneIsString,
 			func(v *jsonval.Value, ok bool) bool {
 				return ok && v.Kind() == jsonval.String
 			},
@@ -569,7 +607,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			f, ok := v.Number()
 			return ok && f == want
 		}
-		return pathLeaf(b, costNumeric, n.Path, test,
+		return pathLeaf(b, costNumeric, n.Path, zoneNumCmp(Eq, want), test,
 			func(res *resolver, idx int32) evalFunc {
 				return func(sc *scratch) bool {
 					v := leafValue(sc, res, idx)
@@ -586,7 +624,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			// Unknown operators hold for nothing, matching CmpOp.holds.
 			return constNode(false)
 		}
-		return pathLeaf(b, costNumeric, n.Path,
+		return pathLeaf(b, costNumeric, n.Path, zoneNumCmp(n.Op, n.Value),
 			func(v *jsonval.Value, ok bool) bool {
 				if !ok {
 					return false
@@ -606,7 +644,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			})
 	case StrEq:
 		want := n.Value
-		return pathLeaf(b, costStrEq, n.Path,
+		return pathLeaf(b, costStrEq, n.Path, zoneStrEq(want),
 			func(v *jsonval.Value, ok bool) bool {
 				return ok && v.Kind() == jsonval.String && v.Str() == want
 			},
@@ -622,7 +660,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			return compileLeaf(b, IsString{Path: n.Path})
 		}
 		prefix := n.Prefix
-		return pathLeaf(b, costPrefix, n.Path,
+		return pathLeaf(b, costPrefix, n.Path, zoneHasPrefix(prefix),
 			func(v *jsonval.Value, ok bool) bool {
 				if !ok || v.Kind() != jsonval.String {
 					return false
@@ -642,7 +680,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			})
 	case BoolEq:
 		want := n.Value
-		return pathLeaf(b, costTypeOnly, n.Path,
+		return pathLeaf(b, costTypeOnly, n.Path, zoneBoolEq(want),
 			func(v *jsonval.Value, ok bool) bool {
 				return ok && v.Kind() == jsonval.Bool && v.Bool() == want
 			},
@@ -657,7 +695,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			return constNode(false)
 		}
 		cmp := compileIntCmp(n.Op, n.Value)
-		return pathLeaf(b, costSize, n.Path,
+		return pathLeaf(b, costSize, n.Path, zoneArrSize(n.Op, n.Value),
 			func(v *jsonval.Value, ok bool) bool {
 				return ok && v.Kind() == jsonval.Array && cmp(v.Len())
 			},
@@ -672,7 +710,7 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 			return constNode(false)
 		}
 		cmp := compileIntCmp(n.Op, n.Value)
-		return pathLeaf(b, costSize, n.Path,
+		return pathLeaf(b, costSize, n.Path, zoneObjSize(n.Op, n.Value),
 			func(v *jsonval.Value, ok bool) bool {
 				return ok && v.Kind() == jsonval.Object && cmp(v.Len())
 			},
@@ -683,7 +721,9 @@ func compileLeaf(b *trieBuilder, p Predicate) node {
 				}
 			})
 	default:
-		// External leaf types keep their interpreted behaviour.
+		// External leaf types keep their interpreted behaviour. Their prune
+		// stays nil: nothing is known about what they match, so no shard can
+		// ever be proved empty through them.
 		return node{fn: func(sc *scratch) bool { return p.Eval(*sc.doc) }, cost: costPrefix}
 	}
 }
@@ -703,20 +743,22 @@ func leafValue(sc *scratch, res *resolver, idx int32) *jsonval.Value {
 // path (ok is false when the path is absent). Root-path leaves test the
 // document itself and trie-overflow leaves fall back to a private
 // LookupSteps walk, both through the generic test; slot leaves — the hot
-// case — use the kind's fused closure.
-func pathLeaf(b *trieBuilder, opCost int, path jsonval.Path, test leafTest, fused func(res *resolver, idx int32) evalFunc) node {
+// case — use the kind's fused closure. The leaf's prune proof is the same
+// ztest either way: pruning consults the zone map, not the trie.
+func pathLeaf(b *trieBuilder, opCost int, path jsonval.Path, ztest zoneTest, test leafTest, fused func(res *resolver, idx int32) evalFunc) node {
 	steps := path.Steps()
 	cost := opCost + costStep*len(steps)
+	prune := pruneAt(path, ztest)
 	if len(steps) == 0 {
-		return node{fn: func(sc *scratch) bool { return test(sc.doc, true) }, cost: cost}
+		return node{fn: func(sc *scratch) bool { return test(sc.doc, true) }, prune: prune, cost: cost}
 	}
 	if idx, ok := b.slotFor(steps); ok {
-		return node{fn: fused(b.res, idx), cost: cost}
+		return node{fn: fused(b.res, idx), prune: prune, cost: cost}
 	}
 	return node{fn: func(sc *scratch) bool {
 		v, ok := jsonval.LookupSteps(*sc.doc, steps)
 		return test(&v, ok)
-	}, cost: cost}
+	}, prune: prune, cost: cost}
 }
 
 // compileFloatTest specialises the comparison operator into its own closure,

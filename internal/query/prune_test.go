@@ -1,0 +1,259 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jsonval"
+)
+
+// fakeZone is a hand-built Zone for exercising prune logic without the shard
+// package (which depends on this one).
+type fakeZone struct {
+	paths    map[string]PathSummary
+	complete bool
+}
+
+func (z fakeZone) Summary(path string) (PathSummary, bool) {
+	s, ok := z.paths[path]
+	return s, ok
+}
+
+func (z fakeZone) Complete() bool { return z.complete }
+
+func numSummary(lo, hi float64) PathSummary {
+	return PathSummary{Kinds: MaskOf(jsonval.Int) | MaskOf(jsonval.Float), NumMin: lo, NumMax: hi}
+}
+
+func strSummary(complete bool, dict ...string) PathSummary {
+	return PathSummary{Kinds: MaskOf(jsonval.String), Dict: dict, DictComplete: complete}
+}
+
+func boolSummary(seenTrue, seenFalse bool) PathSummary {
+	return PathSummary{Kinds: MaskOf(jsonval.Bool), TrueSeen: seenTrue, FalseSeen: seenFalse}
+}
+
+func arrSummary(lo, hi int) PathSummary {
+	return PathSummary{Kinds: MaskOf(jsonval.Array), ArrMin: lo, ArrMax: hi}
+}
+
+func objSummary(lo, hi int) PathSummary {
+	return PathSummary{Kinds: MaskOf(jsonval.Object), ObjMin: lo, ObjMax: hi}
+}
+
+func TestCanSkipLeafRules(t *testing.T) {
+	zone := fakeZone{
+		complete: true,
+		paths: map[string]PathSummary{
+			"/num":  numSummary(10, 20),
+			"/str":  strSummary(true, "berlin", "bonn", "munich"),
+			"/open": strSummary(false),
+			"/flag": boolSummary(true, false),
+			"/only": boolSummary(false, true),
+			"/arr":  arrSummary(2, 5),
+			"/obj":  objSummary(1, 3),
+		},
+	}
+	incomplete := fakeZone{complete: false, paths: zone.paths}
+
+	cases := []struct {
+		name string
+		pred Predicate
+		zone Zone
+		want bool
+	}{
+		{"exists-present", Exists{Path: "/num"}, zone, false},
+		{"exists-absent-complete", Exists{Path: "/gone"}, zone, true},
+		{"exists-absent-incomplete", Exists{Path: "/gone"}, incomplete, false},
+		{"isstring-on-number", IsString{Path: "/num"}, zone, true},
+		{"isstring-on-string", IsString{Path: "/str"}, zone, false},
+		{"inteq-inside-range", IntEq{Path: "/num", Value: 15}, zone, false},
+		{"inteq-outside-range", IntEq{Path: "/num", Value: 21}, zone, true},
+		{"inteq-on-string", IntEq{Path: "/str", Value: 1}, zone, true},
+		{"floatcmp-lt-satisfiable", FloatCmp{Path: "/num", Op: Lt, Value: 10.5}, zone, false},
+		{"floatcmp-lt-empty", FloatCmp{Path: "/num", Op: Lt, Value: 10}, zone, true},
+		{"floatcmp-le-boundary", FloatCmp{Path: "/num", Op: Le, Value: 10}, zone, false},
+		{"floatcmp-gt-empty", FloatCmp{Path: "/num", Op: Gt, Value: 20}, zone, true},
+		{"floatcmp-ge-boundary", FloatCmp{Path: "/num", Op: Ge, Value: 20}, zone, false},
+		{"floatcmp-eq-inside", FloatCmp{Path: "/num", Op: Eq, Value: 20}, zone, false},
+		{"floatcmp-eq-outside", FloatCmp{Path: "/num", Op: Eq, Value: 9.99}, zone, true},
+		{"streq-in-dict", StrEq{Path: "/str", Value: "bonn"}, zone, false},
+		{"streq-not-in-dict", StrEq{Path: "/str", Value: "boston"}, zone, true},
+		{"streq-dict-overflowed", StrEq{Path: "/open", Value: "anything"}, zone, false},
+		{"hasprefix-hit", HasPrefix{Path: "/str", Prefix: "bo"}, zone, false},
+		{"hasprefix-miss", HasPrefix{Path: "/str", Prefix: "z"}, zone, true},
+		{"hasprefix-dict-overflowed", HasPrefix{Path: "/open", Prefix: "z"}, zone, false},
+		{"booleq-seen", BoolEq{Path: "/flag", Value: true}, zone, false},
+		{"booleq-unseen", BoolEq{Path: "/only", Value: true}, zone, true},
+		{"booleq-on-number", BoolEq{Path: "/num", Value: true}, zone, true},
+		{"arrsize-satisfiable", ArrSize{Path: "/arr", Op: Ge, Value: 5}, zone, false},
+		{"arrsize-empty", ArrSize{Path: "/arr", Op: Gt, Value: 5}, zone, true},
+		{"arrsize-on-object", ArrSize{Path: "/obj", Op: Ge, Value: 0}, zone, true},
+		{"objsize-satisfiable", ObjSize{Path: "/obj", Op: Eq, Value: 2}, zone, false},
+		{"objsize-empty", ObjSize{Path: "/obj", Op: Lt, Value: 1}, zone, true},
+	}
+	for _, tc := range cases {
+		if got := Compile(tc.pred).CanSkip(tc.zone); got != tc.want {
+			t.Errorf("%s: CanSkip = %v, want %v (pred %s)", tc.name, got, tc.want, tc.pred)
+		}
+	}
+}
+
+func TestCanSkipCombinators(t *testing.T) {
+	zone := fakeZone{
+		complete: true,
+		paths:    map[string]PathSummary{"/num": numSummary(10, 20)},
+	}
+	hit := FloatCmp{Path: "/num", Op: Ge, Value: 15}  // satisfiable
+	miss := FloatCmp{Path: "/num", Op: Gt, Value: 99} // provably empty
+
+	if !Compile(And{Left: hit, Right: miss}).CanSkip(zone) {
+		t.Error("AND with one provably-empty operand did not skip")
+	}
+	if Compile(Or{Left: hit, Right: miss}).CanSkip(zone) {
+		t.Error("OR with one satisfiable operand skipped")
+	}
+	if !Compile(Or{Left: miss, Right: miss}).CanSkip(zone) {
+		t.Error("OR with both operands provably empty did not skip")
+	}
+
+	// An external (unknown) leaf type can never prune, and it poisons OR but
+	// not AND.
+	ext := opaquePredicate{}
+	if Compile(ext).CanSkip(zone) {
+		t.Error("external leaf pruned")
+	}
+	if Compile(Or{Left: miss, Right: ext}).CanSkip(zone) {
+		t.Error("OR over an external leaf pruned")
+	}
+	if !Compile(And{Left: miss, Right: ext}).CanSkip(zone) {
+		t.Error("AND with a provably-empty operand and an external leaf did not skip")
+	}
+}
+
+// opaquePredicate is a leaf type the compiler knows nothing about.
+type opaquePredicate struct{}
+
+func (opaquePredicate) Eval(jsonval.Value) bool { return true }
+func (opaquePredicate) String() string          { return "OPAQUE" }
+
+func TestCanSkipConstantsAndNil(t *testing.T) {
+	zone := fakeZone{complete: true, paths: map[string]PathSummary{}}
+
+	// Folded-false predicates skip every shard without consulting the zone.
+	if !Compile(ArrSize{Path: "/a", Op: Lt, Value: 0}).CanSkip(zone) {
+		t.Error("constant-false predicate did not skip")
+	}
+	// Folded-true (EXISTS on the root) and match-everything forms never skip.
+	if Compile(Exists{Path: jsonval.RootPath}).CanSkip(zone) {
+		t.Error("constant-true predicate skipped")
+	}
+	if Compile(nil).CanSkip(zone) {
+		t.Error("Compile(nil) skipped")
+	}
+	var zero CompiledPredicate
+	if zero.CanSkip(zone) {
+		t.Error("zero CompiledPredicate skipped")
+	}
+	if Compile(Exists{Path: "/a"}).CanSkip(nil) {
+		t.Error("nil zone skipped")
+	}
+}
+
+// TestCanSkipRootPathLeaves covers leaves addressing the document root: the
+// zone map summarises the root value under "/".
+func TestCanSkipRootPathLeaves(t *testing.T) {
+	zone := fakeZone{
+		complete: true,
+		paths:    map[string]PathSummary{"/": objSummary(2, 4)},
+	}
+	if Compile(ObjSize{Path: jsonval.RootPath, Op: Ge, Value: 3}).CanSkip(zone) {
+		t.Error("satisfiable root OBJSIZE skipped")
+	}
+	if !Compile(ObjSize{Path: jsonval.RootPath, Op: Gt, Value: 4}).CanSkip(zone) {
+		t.Error("provably-empty root OBJSIZE did not skip")
+	}
+	if !Compile(IsString{Path: jsonval.RootPath}).CanSkip(zone) {
+		t.Error("ISSTRING on an all-object root did not skip")
+	}
+}
+
+// TestEvalBlockMatchesEval is the batch-vs-scalar differential: EvalBlock
+// over a block must agree document-for-document with Eval, across random
+// predicates and block sizes (empty, one, odd).
+func TestEvalBlockMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for round := 0; round < 200; round++ {
+		p := randomPredicate(r, 3)
+		c := Compile(p)
+		n := []int{0, 1, 7, 33}[round%4]
+		docs := make([]jsonval.Value, n)
+		for i := range docs {
+			docs[i] = randomSmallDoc(r)
+		}
+		keep := make([]bool, n)
+		got := c.Evaluator().EvalBlock(docs, keep)
+		want := 0
+		for i, d := range docs {
+			m := p.Eval(d)
+			if m {
+				want++
+			}
+			if keep[i] != m {
+				t.Fatalf("round %d doc %d: EvalBlock=%v Eval=%v for %s", round, i, keep[i], m, p)
+			}
+		}
+		if got != want {
+			t.Fatalf("round %d: EvalBlock count %d, want %d", round, got, want)
+		}
+	}
+}
+
+func TestEvalBlockNilFilterKeepsEverything(t *testing.T) {
+	docs := []jsonval.Value{jsonval.IntValue(1), jsonval.IntValue(2)}
+	keep := make([]bool, 4)
+	keep[2] = false
+	if got := Compile(nil).Evaluator().EvalBlock(docs, keep); got != 2 {
+		t.Fatalf("EvalBlock = %d, want 2", got)
+	}
+	if !keep[0] || !keep[1] {
+		t.Error("nil-filter EvalBlock left keep flags unset")
+	}
+}
+
+func TestEvalBlockPanicsOnShortKeepBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalBlock with a short keep buffer did not panic")
+		}
+	}()
+	docs := []jsonval.Value{jsonval.IntValue(1), jsonval.IntValue(2)}
+	Compile(Exists{Path: "/a"}).Evaluator().EvalBlock(docs, make([]bool, 1))
+}
+
+// TestEvalBlockZeroAllocs is the hot-path gate: batch evaluation must not
+// allocate, whatever mix of trie slots, root paths and fused leaves the
+// predicate compiled into.
+func TestEvalBlockZeroAllocs(t *testing.T) {
+	preds := []Predicate{
+		FloatCmp{Path: "/score", Op: Gt, Value: 50},
+		And{
+			Left:  StrEq{Path: "/user/name", Value: "u3"},
+			Right: Or{Left: BoolEq{Path: "/active", Value: true}, Right: ArrSize{Path: "/tags", Op: Ge, Value: 1}},
+		},
+		ObjSize{Path: "/", Op: Ge, Value: 1},
+	}
+	r := rand.New(rand.NewSource(67))
+	docs := make([]jsonval.Value, 64)
+	for i := range docs {
+		docs[i] = randomSmallDoc(r)
+	}
+	keep := make([]bool, len(docs))
+	for _, p := range preds {
+		e := Compile(p).Evaluator()
+		e.EvalBlock(docs, keep) // warm up
+		if n := testing.AllocsPerRun(100, func() { e.EvalBlock(docs, keep) }); n != 0 {
+			t.Errorf("EvalBlock allocates %.1f/op for %s", n, p)
+		}
+	}
+}
