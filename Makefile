@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos crash check bench bench-short bench-paper clean
+.PHONY: all build test vet lint race chaos crash serve-crash check bench bench-short bench-paper clean
 
 all: build
 
@@ -42,7 +42,14 @@ crash:
 		./internal/runlog/... ./internal/fsatomic/... ./internal/harness/... \
 		./internal/core/... ./cmd/betze-bench/...
 
-check: vet lint race chaos crash bench-short
+# Service-level durability gate: SIGKILL a betze-web subprocess mid-campaign,
+# restart it over the same data directory, and require the recovered server
+# to publish an artifact byte-identical to an uninterrupted baseline run,
+# then drain gracefully on SIGTERM with a sealed journal.
+serve-crash:
+	$(GO) test -race -run 'TestServeCrashResume' -v ./cmd/betze-web/
+
+check: vet lint race chaos crash serve-crash bench-short
 
 # Perf suite: compiled predicates vs. the interface-dispatch path, the
 # shared scan kernel, and zone-map shard pruning (the skip= columns show the

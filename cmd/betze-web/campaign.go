@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/joda-explore/betze"
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/engine/jqsim"
+	"github.com/joda-explore/betze/internal/engine/mongosim"
+	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/faultsim"
+	"github.com/joda-explore/betze/internal/fsatomic"
+	"github.com/joda-explore/betze/internal/harness"
+	"github.com/joda-explore/betze/internal/jobqueue"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// campaignSpec is the POST /api/campaigns request body: a full benchmark
+// campaign — one synthetic dataset, one explorer preset, a set of session
+// seeds and a set of engines. Every (seed, engine) pair is one work unit,
+// checkpointed independently so a killed server resumes a campaign at unit
+// granularity.
+type campaignSpec struct {
+	Dataset struct {
+		// Source is a synthetic dataset: twitter, nobench or reddit.
+		Source string `json:"source"`
+		// Docs is the dataset size (100..200000 for the service).
+		Docs int `json:"docs"`
+		// Seed drives dataset generation.
+		Seed int64 `json:"seed"`
+	} `json:"dataset"`
+	// Preset is the explorer configuration: novice, intermediate, expert.
+	Preset string `json:"preset"`
+	// Queries overrides the preset's query count (0 = preset default).
+	Queries int `json:"queries,omitempty"`
+	// Seeds are the explorer seeds; one session is generated per seed.
+	Seeds []int64 `json:"seeds"`
+	// Engines are the systems under test: joda, mongodb, postgres, jq.
+	Engines []string `json:"engines"`
+	// FaultRate injects deterministic faults at this rate in [0,1); the
+	// resilient executor retries around them (chaos testing the service).
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultSeed seeds the fault schedule (default: the dataset seed).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// campaignEngines maps spec engine names to constructors. jq gets a private
+// temp dir under the campaign workdir so store files cannot collide.
+var campaignEngines = map[string]func(dir string) (engine.Engine, error){
+	"joda":     func(string) (engine.Engine, error) { return jodasim.New(jodasim.Options{}), nil },
+	"mongodb":  func(string) (engine.Engine, error) { return mongosim.New(mongosim.Options{}), nil },
+	"postgres": func(string) (engine.Engine, error) { return pgsim.New(pgsim.Options{}), nil },
+	"jq":       func(dir string) (engine.Engine, error) { return jqsim.NewTempIn(dir) },
+}
+
+// validate checks every field and returns a field-tagged error suitable for
+// the structured 400 response.
+func (c *campaignSpec) validate() *fieldError {
+	switch c.Dataset.Source {
+	case "twitter", "nobench", "reddit":
+	default:
+		return &fieldError{"dataset.source", fmt.Sprintf("unknown source %q (twitter, nobench, reddit)", c.Dataset.Source)}
+	}
+	if c.Dataset.Docs < 100 || c.Dataset.Docs > 200_000 {
+		return &fieldError{"dataset.docs", fmt.Sprintf("document count %d outside 100..200000", c.Dataset.Docs)}
+	}
+	if _, err := betze.PresetByName(c.Preset); err != nil {
+		return &fieldError{"preset", err.Error()}
+	}
+	if c.Queries < 0 || c.Queries > 200 {
+		return &fieldError{"queries", fmt.Sprintf("query count %d outside 0..200", c.Queries)}
+	}
+	if len(c.Seeds) == 0 {
+		return &fieldError{"seeds", "at least one session seed required"}
+	}
+	if len(c.Seeds) > 32 {
+		return &fieldError{"seeds", fmt.Sprintf("%d seeds exceed the limit of 32", len(c.Seeds))}
+	}
+	if len(c.Engines) == 0 {
+		return &fieldError{"engines", "at least one engine required (joda, mongodb, postgres, jq)"}
+	}
+	for _, e := range c.Engines {
+		if _, ok := campaignEngines[e]; !ok {
+			return &fieldError{"engines", fmt.Sprintf("unknown engine %q (joda, mongodb, postgres, jq)", e)}
+		}
+	}
+	if c.FaultRate < 0 || c.FaultRate >= 1 {
+		return &fieldError{"fault_rate", fmt.Sprintf("rate %v outside [0,1)", c.FaultRate)}
+	}
+	return nil
+}
+
+// unitResult is one checkpointed (seed, engine) execution. Every field is a
+// deterministic function of the spec — durations are the det-timing
+// substitutes, wall-clock never appears — so an interrupted-and-resumed
+// campaign publishes a byte-identical artifact.
+type unitResult struct {
+	Engine string `json:"engine"`
+	Seed   int64  `json:"seed"`
+	Import struct {
+		Docs     int64 `json:"docs"`
+		Bytes    int64 `json:"bytes"`
+		MicrosUS int64 `json:"duration_us"`
+	} `json:"import"`
+	Queries []unitQuery `json:"queries"`
+	// Completed/Skipped/Retries are the resilient executor's accounting.
+	Completed int    `json:"completed"`
+	Skipped   int    `json:"skipped"`
+	Retries   int    `json:"retries"`
+	Error     string `json:"error,omitempty"`
+}
+
+type unitQuery struct {
+	ID       string `json:"id"`
+	Scanned  int64  `json:"scanned"`
+	Matched  int64  `json:"matched"`
+	Returned int64  `json:"returned"`
+	MicrosUS int64  `json:"duration_us"`
+	Error    string `json:"error,omitempty"`
+	Skipped  bool   `json:"skipped,omitempty"`
+}
+
+// campaignArtifact is the final result document published atomically to
+// <data>/artifacts/<id>.json when a campaign completes.
+type campaignArtifact struct {
+	Campaign string       `json:"campaign"`
+	Spec     campaignSpec `json:"spec"`
+	Units    []unitResult `json:"units"`
+}
+
+// runCampaign is the jobqueue executor: it materialises the dataset,
+// generates one session per seed, and executes every (seed, engine) unit
+// through the resilient executor, checkpointing each completed unit. On
+// resume (after a crash, drain or requeue) completed units are loaded from
+// their checkpoints and skipped. The final artifact is written atomically;
+// a campaign is only Done once the artifact is durable.
+func (s *server) runCampaign(ctx context.Context, job jobqueue.Snapshot, cp *jobqueue.Checkpoints) error {
+	start := time.Now()
+	defer func() { s.reg.Histogram(obs.MWebCampaignRun).Observe(time.Since(start)) }()
+
+	var spec campaignSpec
+	if err := json.Unmarshal(job.Payload, &spec); err != nil {
+		return fmt.Errorf("decoding campaign spec: %w", err)
+	}
+	if ferr := spec.validate(); ferr != nil {
+		return fmt.Errorf("invalid campaign spec: %s: %s", ferr.Field, ferr.Message)
+	}
+
+	workdir := filepath.Join(s.cfg.dataDir, "work", job.ID)
+	if err := os.MkdirAll(workdir, 0o755); err != nil {
+		return fmt.Errorf("campaign workdir: %w", err)
+	}
+	dataPath, stats, err := s.materialize(spec, workdir)
+	if err != nil {
+		return err
+	}
+
+	units := make([]unitResult, 0, len(spec.Seeds)*len(spec.Engines))
+	for _, seed := range spec.Seeds {
+		var session *betze.Session
+		for _, engName := range spec.Engines {
+			if err := ctx.Err(); err != nil {
+				return err // drain or cancel: checkpoints cover completed units
+			}
+			key := fmt.Sprintf("seed-%d/%s", seed, engName)
+			if data, ok := cp.Load(key); ok {
+				var u unitResult
+				if err := json.Unmarshal(data, &u); err != nil {
+					return fmt.Errorf("checkpoint %s: %w", key, err)
+				}
+				units = append(units, u)
+				continue
+			}
+			if session == nil {
+				preset, _ := betze.PresetByName(spec.Preset)
+				session, err = betze.Generate(betze.Options{
+					Preset: preset, Seed: seed, Queries: spec.Queries,
+				}, stats)
+				if err != nil {
+					return fmt.Errorf("generating session seed %d: %w", seed, err)
+				}
+			}
+			u, err := s.runUnit(ctx, spec, engName, seed, stats.Name, dataPath, session, workdir)
+			if err != nil {
+				return err
+			}
+			data, err := json.Marshal(u)
+			if err != nil {
+				return fmt.Errorf("encoding unit %s: %w", key, err)
+			}
+			if err := cp.Save(key, data); err != nil {
+				return err
+			}
+			units = append(units, u)
+		}
+	}
+
+	artifact, err := json.MarshalIndent(campaignArtifact{Campaign: job.ID, Spec: spec, Units: units}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding artifact: %w", err)
+	}
+	path := filepath.Join(s.cfg.dataDir, "artifacts", job.ID+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact dir: %w", err)
+	}
+	if err := fsatomic.WriteFile(path, append(artifact, '\n'), 0o644); err != nil {
+		return fmt.Errorf("publishing artifact: %w", err)
+	}
+	// The campaign workdir is scratch; the artifact is the durable output.
+	os.RemoveAll(workdir)
+	return nil
+}
+
+// materialize generates the campaign's dataset deterministically from its
+// seed, writes it as newline-delimited JSON (atomically, so a crash cannot
+// leave a half file a resume would import), and analyzes it. An existing
+// file from an interrupted attempt is reused: same source, size and seed
+// produce the same bytes.
+func (s *server) materialize(spec campaignSpec, workdir string) (string, *betze.Stats, error) {
+	var src betze.DatasetSource
+	switch spec.Dataset.Source {
+	case "nobench":
+		src = betze.NoBenchSource()
+	case "reddit":
+		src = betze.RedditSource(betze.RedditOptions{})
+	default:
+		src = betze.TwitterSource()
+	}
+	docs := src.Generate(spec.Dataset.Docs, spec.Dataset.Seed)
+	stats := betze.AnalyzeValues(src.Name, docs, betze.AnalyzeOptions{})
+	path := filepath.Join(workdir, "dataset.ndjson")
+	if _, err := os.Stat(path); err == nil {
+		return path, stats, nil
+	}
+	f, err := fsatomic.Create(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("campaign dataset: %w", err)
+	}
+	defer f.Close()
+	var buf []byte
+	for _, d := range docs {
+		buf = jsonval.AppendJSON(buf[:0], d)
+		buf = append(buf, '\n')
+		if _, err := f.Write(buf); err != nil {
+			return "", nil, fmt.Errorf("campaign dataset: %w", err)
+		}
+	}
+	if err := f.Commit(); err != nil {
+		return "", nil, fmt.Errorf("campaign dataset: %w", err)
+	}
+	return path, stats, nil
+}
+
+// runUnit executes one session on one fresh engine through the resilient
+// executor and converts the outcome into the deterministic unit record.
+// Engine-level failures (an import the retry loop gave up on) land in the
+// unit's Error field — one broken engine does not fail the campaign.
+func (s *server) runUnit(ctx context.Context, spec campaignSpec, engName string, seed int64, dsName, dataPath string, session *betze.Session, workdir string) (unitResult, error) {
+	u := unitResult{Engine: engName, Seed: seed}
+	eng, err := campaignEngines[engName](workdir)
+	if err != nil {
+		return u, fmt.Errorf("engine %s: %w", engName, err)
+	}
+	defer eng.Close()
+	var sut engine.Engine = eng
+	if spec.FaultRate > 0 {
+		fseed := spec.FaultSeed
+		if fseed == 0 {
+			fseed = spec.Dataset.Seed
+		}
+		// Mix the unit coordinates into the schedule seed so each unit
+		// sees its own (still deterministic) fault pattern.
+		sut = faultsim.Wrap(eng, faultsim.Uniform(spec.FaultRate, fseed+seed*31+int64(len(engName))))
+	}
+
+	pol := harness.DefaultRetryPolicy()
+	pol.Seed = seed
+	// Import under the analyzer's dataset name: the generated queries
+	// reference it.
+	imp, _, err := harness.RunImport(ctx, sut, dsName, dataPath, pol)
+	if err != nil {
+		if ctx.Err() != nil {
+			return u, ctx.Err()
+		}
+		u.Error = fmt.Sprintf("import: %v", err)
+		return u, nil
+	}
+	u.Import.Docs = imp.Docs
+	u.Import.Bytes = imp.Bytes
+	u.Import.MicrosUS = harness.DetImportDuration(imp).Microseconds()
+
+	outcomes, rs := harness.RunQueries(ctx, sut, session.Queries, pol, io.Discard, fmt.Sprintf("%s seed %d", engName, seed))
+	if ctx.Err() != nil {
+		return u, ctx.Err()
+	}
+	u.Completed, u.Skipped, u.Retries = rs.Completed, rs.Skipped, rs.Retries
+	for _, o := range outcomes {
+		uq := unitQuery{ID: o.Query.ID, Skipped: o.Skipped}
+		if o.Err != nil {
+			uq.Error = o.Err.Error()
+		} else {
+			uq.Scanned = o.Stats.Scanned
+			uq.Matched = o.Stats.Matched
+			uq.Returned = o.Stats.Returned
+			uq.MicrosUS = harness.DetQueryDuration(o.Stats).Microseconds()
+		}
+		u.Queries = append(u.Queries, uq)
+	}
+	return u, nil
+}

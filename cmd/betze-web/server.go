@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"html/template"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,13 +14,32 @@ import (
 
 	"github.com/joda-explore/betze"
 	"github.com/joda-explore/betze/internal/core"
+	"github.com/joda-explore/betze/internal/jobqueue"
 	"github.com/joda-explore/betze/internal/obs"
 )
 
-// server holds generated sessions in memory, keyed by an increasing id.
+// config tunes the service side of betze-web; see the flags in main.go.
+type config struct {
+	dataDir    string
+	workers    int
+	maxQueued  int
+	quotaRate  float64
+	quotaBurst int
+	// noSync skips journal fsync (tests only).
+	noSync bool
+}
+
+// server is the betze-web HTTP handler: the interactive generator UI (held
+// in memory, keyed by an increasing id) plus the durable campaign service
+// backed by a journaled job queue.
 type server struct {
 	mux *http.ServeMux
 	reg *obs.Registry
+	cfg config
+
+	queue      *jobqueue.Queue
+	pool       *jobqueue.Pool
+	poolCancel context.CancelFunc
 
 	mu       sync.Mutex
 	nextID   int
@@ -32,18 +53,47 @@ type storedSession struct {
 	scripts map[string]string // language short name -> script
 }
 
-func newServer() *server {
+// queueDir is the campaign journal directory; the SSE followers tail it.
+func (s *server) queueDir() string { return filepath.Join(s.cfg.dataDir, "queue") }
+
+// artifactPath is where a completed campaign's result document lives.
+func (s *server) artifactPath(id string) string {
+	return filepath.Join(s.cfg.dataDir, "artifacts", id+".json")
+}
+
+// newServer opens (or recovers) the campaign queue under cfg.dataDir and
+// builds the handler. Workers do not run until start.
+func newServer(cfg config) (*server, error) {
 	s := &server{
 		mux:      http.NewServeMux(),
 		reg:      obs.NewRegistry(),
+		cfg:      cfg,
 		sessions: make(map[int]*storedSession),
 		nextID:   1,
+	}
+	var err error
+	s.queue, err = jobqueue.Open(s.queueDir(), jobqueue.Options{
+		MaxQueued:   cfg.maxQueued,
+		TenantRate:  cfg.quotaRate,
+		TenantBurst: cfg.quotaBurst,
+		NoSync:      cfg.noSync,
+		Obs:         obs.Scope{Metrics: s.reg},
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("POST /generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /session/{id}", s.handleSession)
 	s.mux.HandleFunc("GET /download/{id}/{lang}", s.handleDownload)
 	s.mux.HandleFunc("GET /dot/{id}", s.handleDOT)
+	// The campaign service: durable benchmark-as-a-service.
+	s.mux.HandleFunc("POST /api/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /api/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /api/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("DELETE /api/campaigns/{id}", s.handleCampaignCancel)
+	s.mux.HandleFunc("GET /api/campaigns/{id}/events", s.handleCampaignEvents)
+	s.mux.HandleFunc("GET /api/campaigns/{id}/artifact", s.handleCampaignArtifact)
 	// Observability: a JSON metrics snapshot plus the standard pprof
 	// profiling endpoints (mounted explicitly — the package's init-time
 	// DefaultServeMux registration does not reach this private mux).
@@ -53,7 +103,27 @@ func newServer() *server {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
+}
+
+// start launches the campaign worker pool under ctx; recovered campaigns
+// resume immediately.
+func (s *server) start(ctx context.Context) {
+	poolCtx, cancel := context.WithCancel(ctx)
+	s.poolCancel = cancel
+	s.pool = jobqueue.NewPool(poolCtx, s.queue, s.cfg.workers, s.runCampaign)
+}
+
+// drain performs the graceful-shutdown sequence: shed new submissions,
+// interrupt and release in-flight campaigns (checkpoints make the release
+// cheap), wait for the workers, seal the journal.
+func (s *server) drain() {
+	s.queue.Drain()
+	if s.poolCancel != nil {
+		s.poolCancel()
+		s.pool.Wait()
+	}
+	s.queue.Close()
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -129,17 +199,82 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// generateForm is the validated POST /generate input. Absent fields take
+// the form defaults; present-but-invalid fields are rejected with a
+// structured 400 naming the field.
+type generateForm struct {
+	docs    int
+	seed    int64
+	queries int
+	source  string
+	file    string
+	preset  betze.Preset
+}
+
+// parseGenerateForm validates every field of the generation form.
+func parseGenerateForm(r *http.Request) (generateForm, *fieldError) {
+	f := generateForm{docs: 5000, preset: betze.Intermediate}
+	if v := strings.TrimSpace(r.FormValue("docs")); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return f, &fieldError{"docs", fmt.Sprintf("not a number: %q", v)}
+		}
+		if n < 1 || n > 1_000_000 {
+			return f, &fieldError{"docs", fmt.Sprintf("document count %d outside 1..1000000", n)}
+		}
+		f.docs = n
+	}
+	if v := strings.TrimSpace(r.FormValue("seed")); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return f, &fieldError{"seed", fmt.Sprintf("not a number: %q", v)}
+		}
+		f.seed = n
+	}
+	if v := strings.TrimSpace(r.FormValue("queries")); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return f, &fieldError{"queries", fmt.Sprintf("not a number: %q", v)}
+		}
+		if n < 0 || n > 200 {
+			return f, &fieldError{"queries", fmt.Sprintf("query count %d outside 0..200", n)}
+		}
+		f.queries = n
+	}
+	f.source = r.FormValue("source")
+	switch f.source {
+	case "", "twitter", "nobench", "reddit":
+	default:
+		return f, &fieldError{"source", fmt.Sprintf("unknown source %q (twitter, nobench, reddit)", f.source)}
+	}
+	f.file = strings.TrimSpace(r.FormValue("file"))
+	if v := r.FormValue("preset"); v != "" {
+		p, err := betze.PresetByName(v)
+		if err != nil {
+			return f, &fieldError{"preset", err.Error()}
+		}
+		f.preset = p
+	}
+	return f, nil
+}
+
 func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := r.ParseForm(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.badRequest(w, http.StatusBadRequest, &fieldError{Message: "parsing form: " + err.Error()})
+		return
+	}
+	form, ferr := parseGenerateForm(r)
+	if ferr != nil {
+		s.badRequest(w, http.StatusBadRequest, ferr)
 		return
 	}
 	start := time.Now()
-	stored, err := s.generate(r)
+	stored, err := s.generate(r, form)
 	s.reg.Histogram(obs.MWebGenerate).Observe(time.Since(start))
 	if err != nil {
 		s.reg.Counter(obs.MWebGenerateErrors).Inc()
-		http.Error(w, "generation failed: "+err.Error(), http.StatusBadRequest)
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "generation failed: " + err.Error()})
 		return
 	}
 	s.reg.Counter(obs.MWebSessionsGenerated).Inc()
@@ -148,22 +283,12 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 // generate builds the dataset, analyzes it, runs the generator and
 // translates the session into every language.
-func (s *server) generate(r *http.Request) (*storedSession, error) {
-	docsN, err := strconv.Atoi(r.FormValue("docs"))
-	if err != nil || docsN < 1 {
-		docsN = 5000
-	}
-	if docsN > 1_000_000 {
-		return nil, fmt.Errorf("document count %d too large for the web interface", docsN)
-	}
-	seed, _ := strconv.ParseInt(r.FormValue("seed"), 10, 64)
-	queries, _ := strconv.Atoi(r.FormValue("queries"))
-
+func (s *server) generate(r *http.Request, form generateForm) (*storedSession, error) {
 	var stats *betze.Stats
 	var backendDocs []betze.Value
 	datasetName := ""
-	if file := strings.TrimSpace(r.FormValue("file")); file != "" {
-		st, err := betze.AnalyzeFile("", file, betze.AnalyzeOptions{})
+	if form.file != "" {
+		st, err := betze.AnalyzeFile("", form.file, betze.AnalyzeOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +296,7 @@ func (s *server) generate(r *http.Request) (*storedSession, error) {
 		datasetName = st.Name
 	} else {
 		var src betze.DatasetSource
-		switch r.FormValue("source") {
+		switch form.source {
 		case "nobench":
 			src = betze.NoBenchSource()
 		case "reddit":
@@ -179,19 +304,15 @@ func (s *server) generate(r *http.Request) (*storedSession, error) {
 		default:
 			src = betze.TwitterSource()
 		}
-		backendDocs = src.Generate(docsN, seed)
+		backendDocs = src.Generate(form.docs, form.seed)
 		stats = betze.AnalyzeValues(src.Name, backendDocs, betze.AnalyzeOptions{})
 		datasetName = src.Name
 	}
 
-	preset, err := betze.PresetByName(r.FormValue("preset"))
-	if err != nil {
-		preset = betze.Intermediate
-	}
 	opts := betze.Options{
-		Preset:        preset,
-		Seed:          seed,
-		Queries:       queries,
+		Preset:        form.preset,
+		Seed:          form.seed,
+		Queries:       form.queries,
 		Aggregate:     r.FormValue("aggregate") != "",
 		GroupBy:       r.FormValue("groupby") != "",
 		Materialize:   r.FormValue("materialize") != "",

@@ -10,10 +10,38 @@ import (
 	"testing"
 )
 
+// testConfig returns a small, fsync-free service configuration rooted in a
+// per-test temp directory.
+func testConfig(t *testing.T) config {
+	t.Helper()
+	return config{
+		dataDir:    t.TempDir(),
+		workers:    2,
+		maxQueued:  16,
+		quotaRate:  1000,
+		quotaBurst: 1000,
+		noSync:     true,
+	}
+}
+
+// startService builds a running server (queue recovered, workers started)
+// torn down in reverse order: HTTP first, then the graceful drain.
+func startService(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.start(t.Context())
+	t.Cleanup(srv.drain)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
 func startTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer())
-	t.Cleanup(ts.Close)
+	_, ts := startService(t, testConfig(t))
 	return ts
 }
 

@@ -363,15 +363,17 @@ func (e *Env) nextKey(engineName, dataset string, seed int64) (WorkKey, bool) {
 	}, true
 }
 
-// detImportDuration derives a deterministic stand-in for a measured import
+// DetImportDuration derives a deterministic stand-in for a measured import
 // duration from the import's deterministic work counters (DetTiming mode).
-func detImportDuration(imp engine.ImportStats) time.Duration {
+// Exported for the service layer (betze-web campaigns), whose byte-identical
+// crash-resume artifacts need the same timing substitution.
+func DetImportDuration(imp engine.ImportStats) time.Duration {
 	return time.Duration(imp.Docs+1) * time.Microsecond
 }
 
-// detQueryDuration derives a deterministic stand-in for a measured query
+// DetQueryDuration derives a deterministic stand-in for a measured query
 // duration from the execution's deterministic work counters (DetTiming
 // mode): scanning dominates, returning documents costs extra.
-func detQueryDuration(st engine.ExecStats) time.Duration {
+func DetQueryDuration(st engine.ExecStats) time.Duration {
 	return time.Duration(1+st.Scanned+2*st.Returned) * time.Microsecond
 }

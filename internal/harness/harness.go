@@ -441,7 +441,7 @@ func (e *Env) execSession(ctx context.Context, spec engineSpec, ds *datasetEnv, 
 		return res
 	}
 	if e.Cfg.DetTiming {
-		imp.Duration = detImportDuration(imp)
+		imp.Duration = DetImportDuration(imp)
 	}
 	res.Import = imp
 	outcomes, rs := RunQueries(ctx, eng, s.Queries, retry, io.Discard, label)
@@ -449,7 +449,7 @@ func (e *Env) execSession(ctx context.Context, spec engineSpec, ds *datasetEnv, 
 		if o.Err == nil {
 			d := o.Stats.Duration
 			if e.Cfg.DetTiming {
-				d = detQueryDuration(o.Stats)
+				d = DetQueryDuration(o.Stats)
 			}
 			res.QueryTimes = append(res.QueryTimes, d)
 			res.Total += d

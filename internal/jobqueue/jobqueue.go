@@ -1,0 +1,719 @@
+// Package jobqueue is a durable, admission-controlled job queue: the
+// service backbone of betze-web's benchmark-as-a-service front door. Every
+// state transition of every job — submitted, claimed, running, checkpoint,
+// done, failed, cancelled, released — is one JSON record appended (and
+// fsync'd) to a runlog write-ahead journal before the in-memory state
+// changes, so a SIGKILLed process reopens the journal, replays it, and
+// finds the queue exactly where durability left it: terminal jobs stay
+// terminal, in-flight jobs are requeued with their checkpoints intact, and
+// an executor that saves a checkpoint per completed work unit resumes
+// mid-job instead of starting over.
+//
+// Admission control sits in front of the journal: a bounded submission
+// queue and per-tenant token-bucket quotas shed load with a computed
+// retry-after hint instead of letting depth grow without bound — the
+// HTTP layer maps the two rejection reasons onto 503 and 429. Job payloads
+// are opaque JSON; the queue never interprets them.
+//
+// The journal doubles as the progress feed: a runlog.Follower replaying it
+// sees the same records the queue appended, which is how betze-web streams
+// per-campaign events over SSE without a second event bus.
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/joda-explore/betze/internal/obs"
+	"github.com/joda-explore/betze/internal/runlog"
+)
+
+// State is a job's position in the lifecycle. Transitions:
+//
+//	queued → claimed → running → done | failed | cancelled
+//	         running → released → queued        (graceful drain)
+//	         claimed/running → queued            (crash recovery requeue)
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateClaimed   State = "claimed"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors. Admission rejections wrap ErrQueueFull/ErrQuota inside a
+// *ShedError carrying the retry-after hint.
+var (
+	// ErrQueueFull rejects a submission because the bounded queue is at
+	// capacity.
+	ErrQueueFull = errors.New("jobqueue: queue full")
+	// ErrQuota rejects a submission because the tenant's token bucket is
+	// empty.
+	ErrQuota = errors.New("jobqueue: tenant quota exhausted")
+	// ErrDraining rejects submissions and claims while the queue drains.
+	ErrDraining = errors.New("jobqueue: draining")
+	// ErrUnknownJob reports an ID the queue has never journaled.
+	ErrUnknownJob = errors.New("jobqueue: unknown job")
+	// ErrTerminal reports an operation on a job already in an end state.
+	ErrTerminal = errors.New("jobqueue: job already terminal")
+	// ErrBadRecord reports a journal payload that is not a queue record.
+	ErrBadRecord = errors.New("jobqueue: malformed journal record")
+)
+
+// ShedError is an admission-control rejection: Err is ErrQueueFull, ErrQuota
+// or ErrDraining, and RetryAfter is the hint clients should wait before
+// resubmitting (the HTTP layer turns it into a Retry-After header).
+type ShedError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// Options tunes the queue.
+type Options struct {
+	// MaxQueued bounds the jobs waiting to be claimed (default 64).
+	// Submissions beyond it shed with ErrQueueFull.
+	MaxQueued int
+	// MaxAttempts bounds how many times one job may be claimed across
+	// process lifetimes (default 3); a job requeued by crash recovery that
+	// often fails terminally instead — the poison-pill guard.
+	MaxAttempts int
+	// TenantRate refills each tenant's token bucket, in submissions per
+	// second (default 4).
+	TenantRate float64
+	// TenantBurst is each bucket's capacity (default 8).
+	TenantBurst int
+	// SegmentBytes tunes journal segment rotation (runlog default).
+	SegmentBytes int64
+	// NoSync skips journal fsync (tests only).
+	NoSync bool
+	// Obs receives queue metrics (depth/in-flight gauges, wait-time
+	// histogram, admission and completion counters).
+	Obs obs.Scope
+	// Now substitutes the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueued <= 0 {
+		o.MaxQueued = 64
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.TenantRate <= 0 {
+		o.TenantRate = 4
+	}
+	if o.TenantBurst <= 0 {
+		o.TenantBurst = 8
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// record is the JSON payload of one journal entry. Type is the transition
+// name; the record set is the queue's public event vocabulary (SSE streams
+// decode exactly these).
+type record struct {
+	Type    string          `json:"type"`
+	Job     string          `json:"job,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Journal record types (the Type field of record).
+const (
+	RecSubmitted  = "submitted"
+	RecClaimed    = "claimed"
+	RecRunning    = "running"
+	RecCheckpoint = "checkpoint"
+	RecDone       = "done"
+	RecFailed     = "failed"
+	RecCancelled  = "cancelled"
+	RecReleased   = "released"
+)
+
+// DecodeRecord parses one journal payload into the queue's record shape —
+// the JSON the SSE layer re-emits. The boolean reports whether the payload
+// was a queue record at all.
+func DecodeRecord(payload []byte) (typ, job string, err error) {
+	var r record
+	if jerr := json.Unmarshal(payload, &r); jerr != nil || r.Type == "" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadRecord, payload)
+	}
+	return r.Type, r.Job, nil
+}
+
+// job is the queue's internal job state.
+type job struct {
+	id      string
+	tenant  string
+	payload json.RawMessage
+	state   State
+	attempt int // claims across process lifetimes
+	errMsg  string
+	seq     int // submission order
+
+	submittedAt time.Time          // in-memory only; wait-time metric
+	cancelReq   bool               // client asked to cancel a running job
+	cancel      context.CancelFunc // cancels the running executor
+}
+
+// Snapshot is a read-only copy of a job's externally visible state.
+type Snapshot struct {
+	ID          string          `json:"id"`
+	Tenant      string          `json:"tenant"`
+	State       State           `json:"state"`
+	Attempt     int             `json:"attempt"`
+	Error       string          `json:"error,omitempty"`
+	Checkpoints int             `json:"checkpoints"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+}
+
+// bucket is a per-tenant token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills by elapsed time and consumes one token, or reports how long
+// until one is available.
+func (b *bucket) take(now time.Time, rate float64, burst int) (bool, time.Duration) {
+	b.tokens = math.Min(float64(burst), b.tokens+rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	return false, wait
+}
+
+// Queue is the durable job queue. All methods are safe for concurrent use.
+type Queue struct {
+	opts Options
+
+	mu       sync.Mutex
+	w        *runlog.Writer
+	jobs     map[string]*job
+	order    []string // submission order, for List
+	pending  []string // FIFO of queued job IDs
+	chk      map[string]map[string]json.RawMessage
+	buckets  map[string]*bucket
+	nextID   int
+	notify   chan struct{}
+	draining bool
+	closed   bool
+}
+
+// Open creates or recovers the journaled queue in dir. A directory already
+// holding a journal is replayed first: terminal jobs are restored for
+// status queries, in-flight and queued jobs are requeued (in submission
+// order) with their checkpoints, and jobs claimed MaxAttempts times are
+// failed as poison pills. Recovery tolerates a torn journal tail — the
+// record being appended when the process died is the only loss, and its
+// job simply re-runs from its last checkpoint.
+func Open(dir string, opts Options) (*Queue, error) {
+	opts = opts.withDefaults()
+	q := &Queue{
+		opts:    opts,
+		jobs:    make(map[string]*job),
+		chk:     make(map[string]map[string]json.RawMessage),
+		buckets: make(map[string]*bucket),
+		nextID:  1,
+		notify:  make(chan struct{}, 1),
+	}
+	rl := runlog.Options{SegmentBytes: opts.SegmentBytes, NoSync: opts.NoSync}
+	rec, err := runlog.Recover(dir)
+	switch {
+	case errors.Is(err, runlog.ErrNoJournal):
+		w, cerr := runlog.Create(dir, rl)
+		if cerr != nil {
+			return nil, fmt.Errorf("jobqueue: %w", cerr)
+		}
+		q.w = w
+		return q, nil
+	case err != nil:
+		return nil, fmt.Errorf("jobqueue: %w", err)
+	}
+	if err := q.replay(rec.Records); err != nil {
+		return nil, err
+	}
+	w, err := runlog.Open(dir, rl)
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: %w", err)
+	}
+	q.w = w
+	// Requeue in-flight work and fail poison pills, journaling the
+	// transitions so the next recovery replays the same conclusions.
+	now := q.opts.Now()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		switch j.state {
+		case StateClaimed, StateRunning:
+			if j.attempt >= q.opts.MaxAttempts {
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("abandoned after %d attempts", j.attempt)
+				if err := q.append(record{Type: RecFailed, Job: id, Error: j.errMsg}); err != nil {
+					return nil, err
+				}
+				q.opts.Obs.Counter(obs.MQueueFailed).Inc()
+				continue
+			}
+			j.state = StateQueued
+			j.submittedAt = now
+			q.pending = append(q.pending, id)
+			if err := q.append(record{Type: RecReleased, Job: id}); err != nil {
+				return nil, err
+			}
+			q.opts.Obs.Counter(obs.MQueueRequeued).Inc()
+		case StateQueued:
+			j.submittedAt = now
+			q.pending = append(q.pending, id)
+		}
+	}
+	q.gauges()
+	return q, nil
+}
+
+// replay folds recovered journal records into queue state.
+func (q *Queue) replay(records [][]byte) error {
+	for i, payload := range records {
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadRecord, i, err)
+		}
+		if r.Type == RecSubmitted {
+			if r.Job == "" {
+				return fmt.Errorf("%w: record %d: submission without id", ErrBadRecord, i)
+			}
+			q.jobs[r.Job] = &job{
+				id: r.Job, tenant: r.Tenant, payload: r.Payload,
+				state: StateQueued, seq: len(q.order),
+			}
+			q.order = append(q.order, r.Job)
+			if n := idNumber(r.Job); n >= q.nextID {
+				q.nextID = n + 1
+			}
+			continue
+		}
+		j, ok := q.jobs[r.Job]
+		if !ok {
+			return fmt.Errorf("%w: record %d: %s for unknown job %q", ErrBadRecord, i, r.Type, r.Job)
+		}
+		switch r.Type {
+		case RecClaimed:
+			j.state = StateClaimed
+			j.attempt++
+		case RecRunning:
+			j.state = StateRunning
+		case RecCheckpoint:
+			m := q.chk[j.id]
+			if m == nil {
+				m = make(map[string]json.RawMessage)
+				q.chk[j.id] = m
+			}
+			m[r.Key] = r.Data
+		case RecDone:
+			j.state = StateDone
+		case RecFailed:
+			j.state = StateFailed
+			j.errMsg = r.Error
+		case RecCancelled:
+			j.state = StateCancelled
+		case RecReleased:
+			j.state = StateQueued
+		default:
+			return fmt.Errorf("%w: record %d: unknown type %q", ErrBadRecord, i, r.Type)
+		}
+	}
+	return nil
+}
+
+// idNumber extracts the numeric part of a "cNNNNNN" job ID; -1 otherwise.
+func idNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "c%06d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// append journals one record durably. Callers hold q.mu.
+func (q *Queue) append(r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("jobqueue: encoding %s record: %w", r.Type, err)
+	}
+	if err := q.w.AppendSync(payload); err != nil {
+		return fmt.Errorf("jobqueue: journaling %s: %w", r.Type, err)
+	}
+	return nil
+}
+
+// gauges refreshes the depth and in-flight gauges. Callers hold q.mu.
+func (q *Queue) gauges() {
+	inflight := 0
+	for _, j := range q.jobs {
+		if j.state == StateClaimed || j.state == StateRunning {
+			inflight++
+		}
+	}
+	q.opts.Obs.Gauge(obs.MQueueDepth).Set(float64(len(q.pending)))
+	q.opts.Obs.Gauge(obs.MQueueInFlight).Set(float64(inflight))
+}
+
+// Submit admits one job for tenant with an opaque payload, journals it, and
+// returns its snapshot. Rejections are *ShedError wrapping ErrQueueFull
+// (depth bound), ErrQuota (token bucket) or ErrDraining.
+func (q *Queue) Submit(tenant string, payload json.RawMessage) (Snapshot, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.draining {
+		q.opts.Obs.Counter(obs.MQueueRejected).Inc()
+		return Snapshot{}, &ShedError{Err: ErrDraining, RetryAfter: 5 * time.Second}
+	}
+	if len(q.pending) >= q.opts.MaxQueued {
+		q.opts.Obs.Counter(obs.MQueueRejected).Inc()
+		// The deeper the backlog, the longer the hint — a crude but
+		// monotone model of drain time, clamped to something polite.
+		hint := min(time.Duration(len(q.pending))*250*time.Millisecond, 30*time.Second)
+		return Snapshot{}, &ShedError{Err: ErrQueueFull, RetryAfter: max(hint, time.Second)}
+	}
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(q.opts.TenantBurst), last: q.opts.Now()}
+		q.buckets[tenant] = b
+	}
+	if ok, wait := b.take(q.opts.Now(), q.opts.TenantRate, q.opts.TenantBurst); !ok {
+		q.opts.Obs.Counter(obs.MQueueRejected).Inc()
+		return Snapshot{}, &ShedError{Err: ErrQuota, RetryAfter: max(wait, time.Second)}
+	}
+	id := fmt.Sprintf("c%06d", q.nextID)
+	j := &job{
+		id: id, tenant: tenant, payload: payload,
+		state: StateQueued, seq: len(q.order), submittedAt: q.opts.Now(),
+	}
+	if err := q.append(record{Type: RecSubmitted, Job: id, Tenant: tenant, Payload: payload}); err != nil {
+		return Snapshot{}, err
+	}
+	q.nextID++
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	q.pending = append(q.pending, id)
+	q.opts.Obs.Counter(obs.MQueueSubmitted).Inc()
+	q.gauges()
+	q.wake()
+	return q.snapshotLocked(j), nil
+}
+
+// wake nudges one waiting claimer. Callers hold q.mu.
+func (q *Queue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Claim blocks until a job is available (or ctx is done / the queue is
+// draining), journals the claim, and hands the job to a worker.
+func (q *Queue) Claim(ctx context.Context) (Snapshot, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return Snapshot{}, err
+		}
+		q.mu.Lock()
+		if q.draining || q.closed {
+			q.mu.Unlock()
+			return Snapshot{}, ErrDraining
+		}
+		if len(q.pending) > 0 {
+			id := q.pending[0]
+			q.pending = q.pending[1:]
+			j := q.jobs[id]
+			if err := q.append(record{Type: RecClaimed, Job: id}); err != nil {
+				q.mu.Unlock()
+				return Snapshot{}, err
+			}
+			j.state = StateClaimed
+			j.attempt++
+			q.opts.Obs.Observe(obs.MQueueWait, q.opts.Now().Sub(j.submittedAt))
+			q.gauges()
+			if len(q.pending) > 0 {
+				q.wake() // more work: pass the baton to the next claimer
+			}
+			snap := q.snapshotLocked(j)
+			q.mu.Unlock()
+			return snap, nil
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Snapshot{}, ctx.Err()
+		case <-q.notify:
+		}
+	}
+}
+
+// transition journals and applies a state change for a claimed/running job.
+func (q *Queue) transition(id, recType string, to State, errMsg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.state.Terminal() {
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.state)
+	}
+	if err := q.append(record{Type: recType, Job: id, Error: errMsg}); err != nil {
+		return err
+	}
+	j.state = to
+	j.errMsg = errMsg
+	j.cancel = nil
+	switch recType {
+	case RecDone:
+		q.opts.Obs.Counter(obs.MQueueDone).Inc()
+	case RecFailed:
+		q.opts.Obs.Counter(obs.MQueueFailed).Inc()
+	case RecCancelled:
+		q.opts.Obs.Counter(obs.MQueueCancelled).Inc()
+	}
+	q.gauges()
+	return nil
+}
+
+// Running marks a claimed job as executing and registers the cancel hook a
+// client-side Cancel will fire.
+func (q *Queue) Running(id string, cancel context.CancelFunc) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if err := q.append(record{Type: RecRunning, Job: id}); err != nil {
+		return err
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	return nil
+}
+
+// Done marks a job completed.
+func (q *Queue) Done(id string) error {
+	return q.transition(id, RecDone, StateDone, "")
+}
+
+// Fail marks a job terminally failed.
+func (q *Queue) Fail(id string, cause error) error {
+	msg := "unknown failure"
+	if cause != nil {
+		msg = cause.Error()
+	}
+	return q.transition(id, RecFailed, StateFailed, msg)
+}
+
+// Cancelled marks a job cancelled (after its executor stopped).
+func (q *Queue) Cancelled(id string) error {
+	return q.transition(id, RecCancelled, StateCancelled, "")
+}
+
+// Release returns an in-flight job to the front of the queue — the
+// graceful-drain path: the executor checkpointed what it finished, and the
+// job resumes (here or after a restart) from that checkpoint.
+func (q *Queue) Release(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.state.Terminal() {
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.state)
+	}
+	if err := q.append(record{Type: RecReleased, Job: id}); err != nil {
+		return err
+	}
+	j.state = StateQueued
+	j.cancel = nil
+	j.submittedAt = q.opts.Now()
+	q.pending = append([]string{id}, q.pending...)
+	q.opts.Obs.Counter(obs.MQueueRequeued).Inc()
+	q.gauges()
+	q.wake()
+	return nil
+}
+
+// Cancel requests cancellation: a queued job is cancelled immediately; a
+// running job has its executor's context cancelled and completes the
+// transition when the worker observes it. Terminal jobs return ErrTerminal.
+func (q *Queue) Cancel(id string) (State, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch {
+	case j.state.Terminal():
+		state := j.state
+		q.mu.Unlock()
+		return state, fmt.Errorf("%w: %s is %s", ErrTerminal, id, state)
+	case j.state == StateQueued:
+		for i, pid := range q.pending {
+			if pid == id {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		if err := q.append(record{Type: RecCancelled, Job: id}); err != nil {
+			q.mu.Unlock()
+			return j.state, err
+		}
+		j.state = StateCancelled
+		q.opts.Obs.Counter(obs.MQueueCancelled).Inc()
+		q.gauges()
+		q.mu.Unlock()
+		return StateCancelled, nil
+	default: // claimed or running
+		j.cancelReq = true
+		cancel := j.cancel
+		q.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return StateRunning, nil
+	}
+}
+
+// CancelRequested reports whether a client asked to cancel the job.
+func (q *Queue) CancelRequested(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return ok && j.cancelReq
+}
+
+// Checkpoint durably records one completed work unit of a running job.
+func (q *Queue) Checkpoint(id, key string, data json.RawMessage) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.jobs[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if err := q.append(record{Type: RecCheckpoint, Job: id, Key: key, Data: data}); err != nil {
+		return err
+	}
+	m := q.chk[id]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		q.chk[id] = m
+	}
+	m[key] = data
+	q.opts.Obs.Counter(obs.MQueueCheckpoints).Inc()
+	return nil
+}
+
+// LoadCheckpoint returns the journaled checkpoint for (job, key), if any.
+func (q *Queue) LoadCheckpoint(id, key string) (json.RawMessage, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	data, ok := q.chk[id][key]
+	return data, ok
+}
+
+// snapshotLocked copies a job's visible state. Callers hold q.mu.
+func (q *Queue) snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID: j.id, Tenant: j.tenant, State: j.state, Attempt: j.attempt,
+		Error: j.errMsg, Checkpoints: len(q.chk[j.id]), Payload: j.payload,
+	}
+}
+
+// Get returns one job's snapshot.
+func (q *Queue) Get(id string) (Snapshot, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return q.snapshotLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.snapshotLocked(q.jobs[id]))
+	}
+	sort.SliceStable(out, func(i, k int) bool { return q.jobs[out[i].ID].seq < q.jobs[out[k].ID].seq })
+	return out
+}
+
+// Depth reports the jobs waiting to be claimed.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Drain stops admissions and claims: Submit sheds with ErrDraining and
+// blocked Claim calls return ErrDraining. Running executors are not
+// touched — the pool cancels and releases them.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+	// Wake every parked claimer so it observes the drain.
+	for {
+		select {
+		case q.notify <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// Close drains the queue and seals the journal. Safe to call after Drain.
+func (q *Queue) Close() error {
+	q.Drain()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	if err := q.w.Seal(); err != nil {
+		return fmt.Errorf("jobqueue: sealing journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,446 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// testOpts returns fast, deterministic queue options for tests.
+func testOpts() Options {
+	return Options{NoSync: true, SegmentBytes: 512, TenantRate: 1e6, TenantBurst: 1 << 20}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Queue {
+	t.Helper()
+	q, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return q
+}
+
+func TestLifecycleJournaledAndRecovered(t *testing.T) {
+	dir := t.TempDir() + "/queue"
+	q := mustOpen(t, dir, testOpts())
+
+	snapA, err := q.Submit("alice", json.RawMessage(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := q.Submit("bob", json.RawMessage(`{"n":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapA.ID == snapB.ID {
+		t.Fatalf("duplicate job IDs: %s", snapA.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel()
+	claimed, err := q.Claim(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claimed.ID != snapA.ID {
+		t.Fatalf("claimed %s, want FIFO order %s first", claimed.ID, snapA.ID)
+	}
+	if err := q.Running(claimed.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(claimed.ID, "unit-1", json.RawMessage(`"partial"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Done(claimed.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the done job stays done; the still-queued job is requeued.
+	q2 := mustOpen(t, dir, testOpts())
+	defer q2.Close()
+	gotA, err := q2.Get(snapA.ID)
+	if err != nil || gotA.State != StateDone {
+		t.Fatalf("after recovery job A = %+v, %v; want done", gotA, err)
+	}
+	if gotA.Checkpoints != 1 {
+		t.Fatalf("job A checkpoints = %d, want 1", gotA.Checkpoints)
+	}
+	gotB, err := q2.Get(snapB.ID)
+	if err != nil || gotB.State != StateQueued {
+		t.Fatalf("after recovery job B = %+v, %v; want queued", gotB, err)
+	}
+	if d := q2.Depth(); d != 1 {
+		t.Fatalf("recovered depth = %d, want 1", d)
+	}
+	// Payloads survive the journal round-trip.
+	if string(gotB.Payload) != `{"n":2}` {
+		t.Fatalf("job B payload = %s", gotB.Payload)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	opts := testOpts()
+	opts.MaxQueued = 2
+	q := mustOpen(t, t.TempDir()+"/queue", opts)
+	defer q.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit("t", nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := q.Submit("t", nil)
+	var shed *ShedError
+	if !errors.As(err, &shed) || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit = %v, want ShedError{ErrQueueFull}", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", shed.RetryAfter)
+	}
+}
+
+func TestAdmissionTenantQuota(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	opts := testOpts()
+	opts.TenantRate = 1 // 1 token/sec
+	opts.TenantBurst = 2
+	opts.MaxQueued = 100
+	opts.Now = func() time.Time { return now }
+	q := mustOpen(t, t.TempDir()+"/queue", opts)
+	defer q.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit("alice", nil); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := q.Submit("alice", nil)
+	var shed *ShedError
+	if !errors.As(err, &shed) || !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota submit = %v, want ShedError{ErrQuota}", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s (empty bucket at 1 tok/s)", shed.RetryAfter)
+	}
+	// A different tenant is unaffected.
+	if _, err := q.Submit("bob", nil); err != nil {
+		t.Fatalf("other tenant sheds too: %v", err)
+	}
+	// After the bucket refills, alice is admitted again.
+	now = now.Add(1500 * time.Millisecond)
+	if _, err := q.Submit("alice", nil); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+}
+
+func TestRecoveryRequeuesInFlightWithCheckpoints(t *testing.T) {
+	dir := t.TempDir() + "/queue"
+	q := mustOpen(t, dir, testOpts())
+	snap, err := q.Submit("t", json.RawMessage(`{"work":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel()
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Running(snap.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(snap.ID, "unit-1", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(snap.ID, "unit-2", json.RawMessage(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate SIGKILL: abandon the queue without Close; the journal's
+	// active segment is left unsealed, exactly like a dead process.
+
+	q2 := mustOpen(t, dir, testOpts())
+	defer q2.Close()
+	got, err := q2.Get(snap.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("recovered in-flight job = %+v, %v; want requeued", got, err)
+	}
+	if got.Attempt != 1 {
+		t.Fatalf("recovered attempt = %d, want 1", got.Attempt)
+	}
+	if data, ok := q2.LoadCheckpoint(snap.ID, "unit-2"); !ok || string(data) != `2` {
+		t.Fatalf("checkpoint unit-2 = %q, %v; want preserved", data, ok)
+	}
+	// The requeued job is claimable and resumes.
+	reclaimed, err := q2.Claim(ctx)
+	if err != nil || reclaimed.ID != snap.ID {
+		t.Fatalf("reclaim = %+v, %v", reclaimed, err)
+	}
+	if reclaimed.Attempt != 2 {
+		t.Fatalf("reclaimed attempt = %d, want 2", reclaimed.Attempt)
+	}
+}
+
+func TestRecoveryFailsPoisonPills(t *testing.T) {
+	dir := t.TempDir() + "/queue"
+	opts := testOpts()
+	opts.MaxAttempts = 2
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel()
+
+	q := mustOpen(t, dir, opts)
+	snap, err := q.Submit("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Crash #1: requeued (attempt 1 of 2).
+	q = mustOpen(t, dir, opts)
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Crash #2: attempt bound reached — recovery must fail it, not loop.
+	q = mustOpen(t, dir, opts)
+	defer q.Close()
+	got, err := q.Get(snap.ID)
+	if err != nil || got.State != StateFailed {
+		t.Fatalf("poison pill after recovery = %+v, %v; want failed", got, err)
+	}
+	if got.Error == "" {
+		t.Fatal("poison pill carries no error message")
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("poison pill still queued (depth %d)", d)
+	}
+}
+
+func TestDrainReleasesAndReopenResumes(t *testing.T) {
+	dir := t.TempDir() + "/queue"
+	q := mustOpen(t, dir, testOpts())
+
+	snap, err := q.Submit("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(t.Context())
+	pool := NewPool(ctx, q, 1, func(jctx context.Context, job Snapshot, cp *Checkpoints) error {
+		if err := cp.Save("unit-1", []byte(`"done"`)); err != nil {
+			return err
+		}
+		close(started)
+		<-jctx.Done() // simulate a long run interrupted by drain
+		return jctx.Err()
+	})
+	<-started
+	cancel() // SIGTERM path: drain the pool
+	pool.Wait()
+	q.Drain()
+
+	got, err := q.Get(snap.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("drained job = %+v, %v; want released back to queued", got, err)
+	}
+	// Draining queue sheds new submissions.
+	if _, err := q.Submit("t", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the released job resumes from its checkpoint.
+	q2 := mustOpen(t, dir, testOpts())
+	defer q2.Close()
+	if data, ok := q2.LoadCheckpoint(snap.ID, "unit-1"); !ok || string(data) != `"done"` {
+		t.Fatalf("checkpoint after restart = %q, %v", data, ok)
+	}
+	ranCh := make(chan Snapshot, 1)
+	ctx2, cancel2 := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel2()
+	pool2 := NewPool(ctx2, q2, 1, func(jctx context.Context, job Snapshot, cp *Checkpoints) error {
+		ranCh <- job
+		return nil
+	})
+	resumed := <-ranCh
+	if resumed.ID != snap.ID || resumed.Checkpoints != 1 {
+		t.Fatalf("resumed job = %+v, want ID %s with 1 checkpoint", resumed, snap.ID)
+	}
+	waitState(t, q2, snap.ID, StateDone)
+	cancel2()
+	pool2.Wait()
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	q := mustOpen(t, t.TempDir()+"/queue", testOpts())
+	defer q.Close()
+
+	// Cancel while queued: immediate terminal transition.
+	snap, err := q.Submit("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := q.Cancel(snap.ID); err != nil || st != StateCancelled {
+		t.Fatalf("cancel queued = %v, %v", st, err)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("cancelled job still queued (depth %d)", d)
+	}
+	// Cancelling again reports the terminal state.
+	if _, err := q.Cancel(snap.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double cancel = %v, want ErrTerminal", err)
+	}
+
+	// Cancel while running: executor context is cancelled, worker records it.
+	snap2, err := q.Submit("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel()
+	pool := NewPool(ctx, q, 1, func(jctx context.Context, job Snapshot, cp *Checkpoints) error {
+		close(started)
+		<-jctx.Done()
+		return jctx.Err()
+	})
+	<-started
+	if _, err := q.Cancel(snap2.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap2.ID, StateCancelled)
+	q.Drain()
+	pool.Wait()
+}
+
+func TestPoolFailureBoundsAttempts(t *testing.T) {
+	q := mustOpen(t, t.TempDir()+"/queue", testOpts())
+	defer q.Close()
+	snap, err := q.Submit("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Second)
+	defer cancel()
+	pool := NewPool(ctx, q, 1, func(jctx context.Context, job Snapshot, cp *Checkpoints) error {
+		return errors.New("engine exploded")
+	})
+	waitState(t, q, snap.ID, StateFailed)
+	got, _ := q.Get(snap.ID)
+	if got.Error == "" {
+		t.Fatal("failed job carries no cause")
+	}
+	q.Drain()
+	pool.Wait()
+}
+
+// TestConcurrentExactlyOnceExecution is the chaos check: many tenants
+// submitting against many workers, every accepted job executed exactly once
+// and driven to a terminal state, under -race.
+func TestConcurrentExactlyOnceExecution(t *testing.T) {
+	opts := testOpts()
+	opts.MaxQueued = 1000
+	q := mustOpen(t, t.TempDir()+"/queue", opts)
+	defer q.Close()
+
+	var mu sync.Mutex
+	runs := make(map[string]int)
+	ctx, cancel := context.WithTimeout(t.Context(), 30*time.Second)
+	defer cancel()
+	pool := NewPool(ctx, q, 8, func(jctx context.Context, job Snapshot, cp *Checkpoints) error {
+		mu.Lock()
+		runs[job.ID]++
+		mu.Unlock()
+		return nil
+	})
+
+	const tenants, perTenant = 5, 20
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	ids := make(chan string, tenants*perTenant)
+	for tnt := 0; tnt < tenants; tnt++ {
+		wg.Add(1)
+		go func(tnt int) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				snap, err := q.Submit(fmt.Sprintf("tenant-%d", tnt), nil)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				accepted.Add(1)
+				ids <- snap.ID
+			}
+		}(tnt)
+	}
+	wg.Wait()
+	close(ids)
+
+	for id := range ids {
+		waitState(t, q, id, StateDone)
+	}
+	q.Drain()
+	pool.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(len(runs)) != accepted.Load() {
+		t.Fatalf("executed %d distinct jobs, accepted %d", len(runs), accepted.Load())
+	}
+	for id, n := range runs {
+		if n != 1 {
+			t.Fatalf("job %s executed %d times, want exactly once", id, n)
+		}
+	}
+}
+
+// TestMetricsVocabulary: the queue reports through the closed obs
+// vocabulary; spot-check a few counters move.
+func TestMetricsVocabulary(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := testOpts()
+	opts.MaxQueued = 1
+	opts.Obs = obs.Scope{Metrics: reg}
+	q := mustOpen(t, t.TempDir()+"/queue", opts)
+	defer q.Close()
+	if _, err := q.Submit("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("t", nil); err == nil {
+		t.Fatal("expected shed")
+	}
+	if n := reg.Counter(obs.MQueueSubmitted).Value(); n != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MQueueSubmitted, n)
+	}
+	if n := reg.Counter(obs.MQueueRejected).Value(); n != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MQueueRejected, n)
+	}
+}
+
+// waitState polls until the job reaches want or the test deadline passes.
+func waitState(t *testing.T, q *Queue, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		got, err := q.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if got.State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, _ := q.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, got.State, want)
+}

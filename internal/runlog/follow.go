@@ -1,0 +1,207 @@
+package runlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Follower tails a journal directory live: Poll returns every record
+// appended since the previous call, in append order, exactly once — across
+// segment seals and writer fsync boundaries. A Follower never blocks the
+// writer; it reads sealed segments to completion and then chases the active
+// segment by offset, deciding "this file was sealed underneath me" with an
+// inode comparison against the path it opened. It is the streaming
+// counterpart of Recover: where Recover replays a journal after the writer
+// died, Follow replays and then keeps following one that is still being
+// written (the betze-web SSE endpoints are Followers over the job-queue
+// journal).
+//
+// A Follower is not safe for concurrent use; give each consumer its own.
+type Follower struct {
+	dir string
+	// nextSealed is the index the next sealed segment is expected under;
+	// seals are strictly sequential, so the active segment — once renamed —
+	// always becomes segment nextSealed.
+	nextSealed int
+	cur        *os.File
+	// curSealed records whether cur was opened under a sealed name (and is
+	// therefore complete) or is the active segment (and may still grow).
+	curSealed bool
+	off       int64
+}
+
+// NewFollower starts following the journal in dir from its first record.
+// The directory (or the journal inside it) may not exist yet; Poll simply
+// returns nothing until it does.
+func NewFollower(dir string) *Follower {
+	return &Follower{dir: dir, nextSealed: 1}
+}
+
+// Poll returns the records appended since the last call, in order. An empty
+// batch means the follower is caught up with the journal's durable tail. A
+// torn record at the end of the active segment is not an error — it is an
+// append in flight, and the next Poll retries from the same boundary; a torn
+// or checksum-corrupt record anywhere else is reported as the wrapped
+// ErrTorn/ErrCorrupt/ErrTooLarge sentinel, after which the follower is
+// stuck at that boundary by design (the write-ahead-log truncation rule:
+// nothing after the first bad record is trustworthy).
+func (f *Follower) Poll() ([][]byte, error) {
+	var out [][]byte
+	for {
+		if f.cur == nil {
+			if ok, err := f.open(); err != nil || !ok {
+				return out, err
+			}
+		}
+		recs, sealedUnderUs, err := f.drain()
+		out = append(out, recs...)
+		if err != nil {
+			return out, err
+		}
+		if !f.curSealed && !sealedUnderUs {
+			// Caught up with the active segment; more may arrive later.
+			return out, nil
+		}
+		// Either cur was opened under a sealed name, or it was the active
+		// segment and the writer sealed it mid-read: in both cases its
+		// content is final and fully consumed, so move past it.
+		if err := f.cur.Close(); err != nil {
+			return out, fmt.Errorf("runlog: closing followed segment: %w", err)
+		}
+		f.cur = nil
+		f.nextSealed++
+		f.off = 0
+	}
+}
+
+// open positions the follower on the next unread segment: the sealed
+// segment with index nextSealed if it exists, the active segment otherwise.
+// It returns false when there is nothing to open yet.
+func (f *Follower) open() (bool, error) {
+	sealed := filepath.Join(f.dir, fmt.Sprintf("%06d%s", f.nextSealed, sealedSuffix))
+	for {
+		if file, err := os.Open(sealed); err == nil {
+			f.cur, f.curSealed, f.off = file, true, 0
+			return true, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("runlog: following %s: %w", sealed, err)
+		}
+		active := filepath.Join(f.dir, activeSegment)
+		file, err := os.Open(active)
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil // journal (or its next segment) not created yet
+		}
+		if err != nil {
+			return false, fmt.Errorf("runlog: following %s: %w", active, err)
+		}
+		// A rotation between the two opens above would have handed us the
+		// NEXT active while segment nextSealed sits unread. The writer seals
+		// strictly before creating the new active, so re-checking the sealed
+		// path now proves which case we are in: absent means this handle
+		// predates any rotation and is exactly the segment that will seal as
+		// nextSealed (a rename after this point is what drain detects).
+		if _, err := os.Stat(sealed); errors.Is(err, os.ErrNotExist) {
+			f.cur, f.curSealed, f.off = file, false, 0
+			return true, nil
+		} else if err != nil {
+			file.Close()
+			return false, fmt.Errorf("runlog: following %s: %w", sealed, err)
+		}
+		file.Close() // lost the race; start over with the sealed segment
+	}
+}
+
+// drain reads every complete record from f.off to the end of cur. For the
+// active segment it additionally reports whether the file was sealed
+// underneath the handle (renamed away), which proves its content final.
+// The seal check is taken BEFORE reading: if the file was already renamed
+// then, everything the writer will ever put in it is visible to the read
+// that follows; if it is renamed after, the next Poll observes it.
+func (f *Follower) drain() (recs [][]byte, sealedUnderUs bool, err error) {
+	if !f.curSealed {
+		cur, err := f.cur.Stat()
+		if err != nil {
+			return nil, false, fmt.Errorf("runlog: %w", err)
+		}
+		at, err := os.Stat(filepath.Join(f.dir, activeSegment))
+		if errors.Is(err, os.ErrNotExist) {
+			sealedUnderUs = true // mid-rotation: rename done, new active pending
+		} else if err != nil {
+			return nil, false, fmt.Errorf("runlog: %w", err)
+		} else {
+			sealedUnderUs = !os.SameFile(cur, at)
+		}
+	}
+	st, err := f.cur.Stat()
+	if err != nil {
+		return nil, sealedUnderUs, fmt.Errorf("runlog: %w", err)
+	}
+	if st.Size() <= f.off {
+		return nil, sealedUnderUs, nil
+	}
+	buf := make([]byte, st.Size()-f.off)
+	n, err := f.cur.ReadAt(buf, f.off)
+	if err != nil && n == 0 {
+		return nil, sealedUnderUs, fmt.Errorf("runlog: reading followed segment: %w", err)
+	}
+	recs, consumed, perr := parseAvailable(buf[:n])
+	f.off += consumed
+	if perr != nil {
+		tornActive := !f.curSealed && !sealedUnderUs && errors.Is(perr, ErrTorn)
+		if !tornActive {
+			return recs, sealedUnderUs, fmt.Errorf("%w at %s:%d", perr, st.Name(), f.off)
+		}
+		// A torn tail on the live active segment is an append in flight;
+		// wait for the writer to finish it.
+		sealedUnderUs = false
+	}
+	return recs, sealedUnderUs, nil
+}
+
+// parseAvailable splits a byte window into complete records, returning how
+// many bytes of complete records were consumed. A trailing partial record
+// is reported as ErrTorn with consumed pointing at its start; corruption
+// inside the window is ErrCorrupt/ErrTooLarge at the same boundary.
+func parseAvailable(data []byte) (recs [][]byte, consumed int64, err error) {
+	off := int64(0)
+	for int64(len(data)) > off {
+		rest := data[off:]
+		if len(rest) < headerSize {
+			return recs, off, ErrTorn
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecord {
+			return recs, off, ErrTooLarge
+		}
+		if int64(len(rest)) < headerSize+int64(n) {
+			return recs, off, ErrTorn
+		}
+		payload := rest[headerSize : headerSize+int64(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, ErrCorrupt
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		recs = append(recs, rec)
+		off += headerSize + int64(n)
+	}
+	return recs, off, nil
+}
+
+// Close releases the follower's open segment handle, if any.
+func (f *Follower) Close() error {
+	if f.cur == nil {
+		return nil
+	}
+	err := f.cur.Close()
+	f.cur = nil
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	return nil
+}

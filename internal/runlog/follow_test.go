@@ -1,0 +1,240 @@
+package runlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// numbered builds the i-th test payload; sizes vary so records straddle
+// segment boundaries at irregular offsets.
+func numbered(i int) []byte {
+	return []byte(fmt.Sprintf("record-%06d-%s", i, string(make([]byte, i%37))))
+}
+
+// TestFollowerConcurrentExactlyOnce is the satellite acceptance test: a
+// follower chasing a journal while the writer appends and seals segments
+// must deliver every record exactly once, in order, under the race
+// detector. Tiny segments force many seal rotations mid-follow.
+func TestFollowerConcurrentExactlyOnce(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	const total = 800
+	w, err := Create(dir, Options{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	writeErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := w.Append(numbered(i)); err != nil {
+				writeErr <- err
+				return
+			}
+			if i%7 == 0 {
+				if err := w.Sync(); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}
+		writeErr <- w.Close()
+	}()
+
+	f := NewFollower(dir)
+	defer f.Close()
+	var got [][]byte
+	deadline := time.Now().Add(30 * time.Second)
+	for len(got) < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower saw %d of %d records before the deadline", len(got), total)
+		}
+		recs, err := f.Poll()
+		if err != nil {
+			t.Fatalf("poll after %d records: %v", len(got), err)
+		}
+		got = append(got, recs...)
+		if len(recs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if err := <-writeErr; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	if len(got) != total {
+		t.Fatalf("follower delivered %d records, want exactly %d", len(got), total)
+	}
+	for i, rec := range got {
+		if want := numbered(i); string(rec) != string(want) {
+			t.Fatalf("record %d = %q, want %q (duplicate, loss or reorder)", i, rec, want)
+		}
+	}
+	// A final poll after the writer closed must deliver nothing new.
+	recs, err := f.Poll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("post-close poll = %d records, %v; want 0, nil", len(recs), err)
+	}
+}
+
+// TestFollowerStartsOnExistingJournal covers the replay-then-follow path:
+// records written (and segments sealed) before the follower exists are
+// delivered first, then live appends continue the same sequence.
+func TestFollowerStartsOnExistingJournal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	w, err := Create(dir, Options{SegmentBytes: 128, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Append(numbered(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFollower(dir)
+	defer f.Close()
+	recs, err := f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("replay delivered %d records, want 20", len(recs))
+	}
+	for i := 20; i < 40; i++ {
+		if err := w.Append(numbered(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = append(recs, live...)
+	if len(recs) != 40 {
+		t.Fatalf("follow delivered %d records, want 40", len(recs))
+	}
+	for i, rec := range recs {
+		if string(rec) != string(numbered(i)) {
+			t.Fatalf("record %d out of sequence", i)
+		}
+	}
+}
+
+// TestFollowerEmptyDir: polling a journal that does not exist yet is not an
+// error — the follower waits for it to appear.
+func TestFollowerEmptyDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	f := NewFollower(dir)
+	defer f.Close()
+	recs, err := f.Poll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("poll on missing journal = %d records, %v", len(recs), err)
+	}
+	w, err := Create(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = f.Poll()
+	if err != nil || len(recs) != 1 || string(recs[0]) != "first" {
+		t.Fatalf("poll after create = %q, %v", recs, err)
+	}
+}
+
+// TestFollowerTornTailWaits: a partial record at the end of the active
+// segment is an append in flight, not an error; the follower holds position
+// and delivers the record once it completes.
+func TestFollowerTornTailWaits(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	w, err := Create(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append by writing a bare partial header directly.
+	path := filepath.Join(dir, "current.wal")
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte{0x05, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	f := NewFollower(dir)
+	defer f.Close()
+	recs, err := f.Poll()
+	if err != nil {
+		t.Fatalf("torn active tail reported as error: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "complete" {
+		t.Fatalf("poll = %q, want the one complete record", recs)
+	}
+	if recs, err = f.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("re-poll over torn tail = %d records, %v", len(recs), err)
+	}
+}
+
+// TestFollowerCorruptRecord: a checksum-corrupt record stops the follower
+// with the ErrCorrupt sentinel — nothing after the first bad record is
+// trustworthy, exactly the Recover contract.
+func TestFollowerCorruptRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	w, err := Create(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("to-be-corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "current.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFollower(dir)
+	defer f.Close()
+	recs, err := f.Poll()
+	if len(recs) != 1 || string(recs[0]) != "good" {
+		t.Fatalf("poll = %q, want the one intact record", recs)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt record error = %v, want ErrCorrupt", err)
+	}
+}

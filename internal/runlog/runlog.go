@@ -243,6 +243,39 @@ func (w *Writer) rotate() error {
 // Stats reports writer-side accounting.
 func (w *Writer) Stats() (appends, rotations int64) { return w.appends, w.rotations }
 
+// Seal closes the journal for good: the active segment is synced, closed
+// and sealed under the next index (an empty active segment is simply
+// removed). A journal sealed by a graceful shutdown leaves no current.wal
+// behind, so the next Recover replays only clean segment boundaries and a
+// Follower sees the stream end exactly where the writer stopped. The
+// Writer is unusable afterwards.
+func (w *Writer) Seal() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	active := filepath.Join(w.dir, activeSegment)
+	if w.size == 0 {
+		if err := os.Remove(active); err != nil {
+			return fmt.Errorf("runlog: removing empty active segment: %w", err)
+		}
+		return syncDir(w.dir, w.opts)
+	}
+	sealed := filepath.Join(w.dir, fmt.Sprintf("%06d%s", w.nextSeal, sealedSuffix))
+	if err := os.Rename(active, sealed); err != nil {
+		return fmt.Errorf("runlog: sealing segment: %w", err)
+	}
+	w.nextSeal++
+	return syncDir(w.dir, w.opts)
+}
+
 // Close syncs and closes the active segment.
 func (w *Writer) Close() error {
 	if w.f == nil {

@@ -281,3 +281,71 @@ func TestOversizedAppendRejected(t *testing.T) {
 		t.Errorf("oversized append: %v, want ErrTooLarge", err)
 	}
 }
+
+// TestSealLeavesNoActiveSegment pins the graceful-shutdown contract: Seal
+// renames the active segment under the next sealed index (or removes it
+// when empty), every record survives a subsequent Recover, and a journal
+// reopened for append starts a fresh active segment after the seal point.
+func TestSealLeavesNoActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := mustCreate(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, activeSegment)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("active segment survived Seal: %v", err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated || len(rec.Records) != n {
+		t.Fatalf("recovered %d records (truncated=%v), want %d clean", len(rec.Records), rec.Truncated, n)
+	}
+	// Sealing twice is a no-op, not an error.
+	if err := w.Seal(); err != nil {
+		t.Fatalf("second Seal: %v", err)
+	}
+
+	// Reopen-append-seal continues the sealed numbering without clashes.
+	w2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("record-after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != n+1 || string(rec.Records[n]) != "record-after-reopen" {
+		t.Fatalf("after reopen+seal: %d records, want %d", len(rec.Records), n+1)
+	}
+}
+
+// TestSealEmptyActiveRemoved: an active segment that never saw a record is
+// deleted rather than sealed as a zero-byte segment.
+func TestSealEmptyActiveRemoved(t *testing.T) {
+	dir := t.TempDir()
+	w := mustCreate(t, dir, Options{NoSync: true})
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("empty journal left %d files behind after Seal", len(entries))
+	}
+}
