@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos crash serve-crash check bench bench-short bench-paper clean
+.PHONY: all build test vet lint lint-self race race-core race-engine race-service race-tools chaos crash serve-crash check bench bench-short bench-paper clean
 
 all: build
 
@@ -18,15 +18,39 @@ vet:
 
 # Machine-checked invariants (DESIGN.md): determinism, sentinel wrapping,
 # context plumbing, the closed observability vocabulary, resource release,
-# atomic artifact publication.
+# atomic artifact publication, and the CFG/dataflow concurrency suite
+# (lockbalance, goleak, atomicmix, wgdiscipline, journalorder).
 # Exits non-zero on any finding; suppress with //lint:ignore <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/betze-lint ./...
 
+# Self-check gate: the linter's own CFG, dataflow, analyzer-golden,
+# suppression and baseline tests, plus a smoke run of the driver's flag
+# surface. A broken analyzer must fail the gate itself, not just report
+# nothing.
+lint-self:
+	$(GO) test ./internal/lint/ ./cmd/betze-lint/
+	$(GO) run ./cmd/betze-lint -list >/dev/null
+	$(GO) run ./cmd/betze-lint -format=json ./... >/dev/null
+
 # The multiuser harness, the jodasim worker pool and the obs registry are the
-# concurrency hot spots; run the whole tree under the race detector.
-race:
-	$(GO) test -race ./...
+# concurrency hot spots; run the whole tree under the race detector. The
+# shards below partition the package tree so `make -j4 race` runs them in
+# parallel; `race` depends on all of them and stays correct sequentially.
+race-core:
+	$(GO) test -race ./internal/core/... ./internal/query/... ./internal/analyze/... \
+		./internal/langs/... ./internal/datasets/... ./internal/lint/...
+race-engine:
+	$(GO) test -race ./internal/engine/... ./internal/shard/... ./internal/faultsim/... \
+		./internal/runlog/... ./internal/fsatomic/...
+race-service:
+	$(GO) test -race ./internal/harness/... ./internal/jobqueue/... ./internal/obs/... \
+		./cmd/betze-web/...
+race-tools:
+	$(GO) test -race . ./cmd/betze ./cmd/betze-bench/... ./cmd/betze-lint/... \
+		./examples/... ./internal/bsonlite/... ./internal/jsonblite/... \
+		./internal/jsonstats/... ./internal/jsonval/... ./internal/lz/...
+race: race-core race-engine race-service race-tools
 
 # Fault-injection suite: every retry/breaker/crash-recovery/cancellation test
 # runs with the deterministic injector active, under the race detector.
@@ -49,7 +73,7 @@ crash:
 serve-crash:
 	$(GO) test -race -run 'TestServeCrashResume' -v ./cmd/betze-web/
 
-check: vet lint race chaos crash serve-crash bench-short
+check: vet lint lint-self race chaos crash serve-crash bench-short
 
 # Perf suite: compiled predicates vs. the interface-dispatch path, the
 # shared scan kernel, and zone-map shard pruning (the skip= columns show the

@@ -184,6 +184,7 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	// a genuinely stuck client times out.
 	rc := http.NewResponseController(w)
 	write := func(event string, data []byte) error {
+		//lint:ignore determinism SSE write deadline is transport plumbing, never part of benchmark output
 		rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 			return err
@@ -222,6 +223,7 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-heartbeat.C:
+			//lint:ignore determinism SSE keepalive deadline is transport plumbing, never part of benchmark output
 			rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 			if _, werr := fmt.Fprint(w, ": keepalive\n\n"); werr != nil {
 				return

@@ -178,9 +178,9 @@ type job struct {
 	errMsg  string
 	seq     int // submission order
 
-	submittedAt time.Time          // in-memory only; wait-time metric
-	cancelReq   bool               // client asked to cancel a running job
-	cancel      context.CancelFunc // cancels the running executor
+	submittedAt time.Time          // volatile: in-memory only; wait-time metric
+	cancelReq   bool               // volatile: cancel intent, re-requested after restart
+	cancel      context.CancelFunc // volatile: cancels the running executor
 }
 
 // Snapshot is a read-only copy of a job's externally visible state.
@@ -217,17 +217,20 @@ func (b *bucket) take(now time.Time, rate float64, burst int) (bool, time.Durati
 type Queue struct {
 	opts Options
 
-	mu       sync.Mutex
-	w        *runlog.Writer
-	jobs     map[string]*job
-	order    []string // submission order, for List
-	pending  []string // FIFO of queued job IDs
-	chk      map[string]map[string]json.RawMessage
-	buckets  map[string]*bucket
-	nextID   int
-	notify   chan struct{}
-	draining bool
-	closed   bool
+	mu      sync.Mutex
+	w       *runlog.Writer
+	jobs    map[string]*job
+	order   []string // submission order, for List
+	pending []string // FIFO of queued job IDs
+	chk     map[string]map[string]json.RawMessage
+
+	// The remaining fields are volatile: runtime-only state rebuilt on every
+	// Open, never journaled, exempt from the journal-before-memory rule.
+	buckets  map[string]*bucket // volatile: token buckets refill from zero
+	nextID   int                // volatile: recomputed from replayed IDs
+	notify   chan struct{}      // volatile: wakes parked claimers
+	draining bool               // volatile: admission gate, reset on restart
+	closed   bool               // volatile: lifecycle flag
 }
 
 // Open creates or recovers the journaled queue in dir. A directory already
@@ -276,20 +279,21 @@ func Open(dir string, opts Options) (*Queue, error) {
 		switch j.state {
 		case StateClaimed, StateRunning:
 			if j.attempt >= q.opts.MaxAttempts {
-				j.state = StateFailed
-				j.errMsg = fmt.Sprintf("abandoned after %d attempts", j.attempt)
-				if err := q.append(record{Type: RecFailed, Job: id, Error: j.errMsg}); err != nil {
+				msg := fmt.Sprintf("abandoned after %d attempts", j.attempt)
+				if err := q.append(record{Type: RecFailed, Job: id, Error: msg}); err != nil {
 					return nil, err
 				}
+				j.state = StateFailed
+				j.errMsg = msg
 				q.opts.Obs.Counter(obs.MQueueFailed).Inc()
 				continue
+			}
+			if err := q.append(record{Type: RecReleased, Job: id}); err != nil {
+				return nil, err
 			}
 			j.state = StateQueued
 			j.submittedAt = now
 			q.pending = append(q.pending, id)
-			if err := q.append(record{Type: RecReleased, Job: id}); err != nil {
-				return nil, err
-			}
 			q.opts.Obs.Counter(obs.MQueueRequeued).Inc()
 		case StateQueued:
 			j.submittedAt = now
@@ -300,7 +304,10 @@ func Open(dir string, opts Options) (*Queue, error) {
 	return q, nil
 }
 
-// replay folds recovered journal records into queue state.
+// replay folds recovered journal records into queue state — the one method
+// where memory is written FROM the journal instead of ahead of it.
+//
+//lint:ignore journalorder replay reconstructs memory from already-durable records; appending here would duplicate them
 func (q *Queue) replay(records [][]byte) error {
 	for i, payload := range records {
 		var r record
@@ -453,12 +460,15 @@ func (q *Queue) Claim(ctx context.Context) (Snapshot, error) {
 		}
 		if len(q.pending) > 0 {
 			id := q.pending[0]
-			q.pending = q.pending[1:]
 			j := q.jobs[id]
+			// Journal before popping: if the append fails the job stays
+			// pending and the next claimer retries it, instead of silently
+			// vanishing from the queue until a restart.
 			if err := q.append(record{Type: RecClaimed, Job: id}); err != nil {
 				q.mu.Unlock()
 				return Snapshot{}, err
 			}
+			q.pending = q.pending[1:]
 			j.state = StateClaimed
 			j.attempt++
 			q.opts.Obs.Observe(obs.MQueueWait, q.opts.Now().Sub(j.submittedAt))
@@ -586,15 +596,17 @@ func (q *Queue) Cancel(id string) (State, error) {
 		q.mu.Unlock()
 		return state, fmt.Errorf("%w: %s is %s", ErrTerminal, id, state)
 	case j.state == StateQueued:
+		// Journal before splicing: a failed append leaves the job queued and
+		// claimable rather than stranded outside both pending and the journal.
+		if err := q.append(record{Type: RecCancelled, Job: id}); err != nil {
+			q.mu.Unlock()
+			return j.state, err
+		}
 		for i, pid := range q.pending {
 			if pid == id {
 				q.pending = append(q.pending[:i], q.pending[i+1:]...)
 				break
 			}
-		}
-		if err := q.append(record{Type: RecCancelled, Job: id}); err != nil {
-			q.mu.Unlock()
-			return j.state, err
 		}
 		j.state = StateCancelled
 		q.opts.Obs.Counter(obs.MQueueCancelled).Inc()

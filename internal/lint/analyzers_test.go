@@ -47,6 +47,12 @@ func TestAnalyzerGolden(t *testing.T) {
 		{"ctxplumb", lint.NewCtxplumb("")},
 		{"obsvocab", lint.NewObsvocab()},
 		{"closecheck", lint.NewClosecheck()},
+		// The CFG/dataflow-backed concurrency analyzers, fixture-wide scope.
+		{"lockbalance", lint.NewLockbalance()},
+		{"goleak", lint.NewGoleak()},
+		{"atomicmix", lint.NewAtomicmix()},
+		{"wgdiscipline", lint.NewWgdiscipline()},
+		{"journalorder", lint.NewJournalorder()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// atomicmix enforces all-or-nothing atomicity per field: a variable or
+// struct field accessed through sync/atomic anywhere in the package must
+// never be read or written plainly elsewhere. Mixing the two silently
+// downgrades every atomic access — the plain read can observe a torn or
+// stale value and the race detector only notices when a test happens to
+// interleave. This is the guard rail for the obs lock-freedom work: once a
+// counter moves to atomic.AddInt64, every straggler `n++` is a finding.
+//
+// The check is syntactic and intra-package (the lenient loader has no type
+// information for the standard library): the address arguments of
+// sync/atomic function calls (&s.n, &count) define the atomic name set by
+// field/variable name, and any plain use of those names outside an atomic
+// call is reported. Composite-literal initialisation and address-taking
+// are exempt — construction before sharing and handing the address to an
+// atomic helper are both legitimate. Typed atomics (atomic.Int64 fields)
+// need no analyzer: their methods are the only access path.
+type atomicmix struct {
+	scope []string
+}
+
+// NewAtomicmix returns the atomicmix analyzer restricted to packages whose
+// import path contains one of the scope segments; an empty scope checks
+// every package.
+func NewAtomicmix(scope ...string) Analyzer { return &atomicmix{scope: scope} }
+
+func (a *atomicmix) Name() string { return "atomicmix" }
+func (a *atomicmix) Doc() string {
+	return "a field accessed via sync/atomic must never be accessed plainly elsewhere"
+}
+
+func (a *atomicmix) Run(pass *Pass) {
+	if len(a.scope) > 0 && !pathHasAny(pass.Pkg.Path, a.scope) {
+		return
+	}
+	// Pass 1: collect the names accessed atomically anywhere in the package.
+	atomicNames := map[string]bool{}
+	type fileAliases struct {
+		f       *ast.File
+		aliases map[string]string
+	}
+	files := make([]fileAliases, 0, len(pass.Pkg.Files))
+	for _, f := range pass.Pkg.Files {
+		fa := fileAliases{f: f, aliases: importAliases(f)}
+		files = append(files, fa)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, _, ok := pkgFuncCall(fa.aliases, call)
+			if !ok || path != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if name := addressedName(arg); name != "" {
+					atomicNames[name] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicNames) == 0 {
+		return
+	}
+	// Pass 2: report plain accesses of those names.
+	for _, fa := range files {
+		a.checkFile(pass, fa.f, fa.aliases, atomicNames)
+	}
+}
+
+// addressedName extracts the field or variable name from an &x / &s.f
+// argument of an atomic call.
+func addressedName(arg ast.Expr) string {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return ""
+	}
+	switch v := un.X.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+// checkFile reports plain uses of atomically-accessed names in one file.
+// Subtrees whose matches are legitimate are pruned: atomic call arguments,
+// composite literals (construction before sharing), address-taking (the
+// address feeds an atomic call), and declarations, which name a field
+// without accessing it.
+func (a *atomicmix) checkFile(pass *Pass, f *ast.File, aliases map[string]string, atomicNames map[string]bool) {
+	const msg = "plain access of %q, which is accessed via sync/atomic elsewhere in this package; use the atomic API everywhere"
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if path, _, ok := pkgFuncCall(aliases, v); ok && path == "sync/atomic" {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				return false
+			}
+		case *ast.CompositeLit, *ast.Field, *ast.ValueSpec:
+			return false
+		case *ast.SelectorExpr:
+			if atomicNames[v.Sel.Name] {
+				name := exprKey(v)
+				if name == "" {
+					name = v.Sel.Name
+				}
+				pass.Report(v, msg, name)
+				return false // report the selector once, not its inner ident
+			}
+			// The field does not match, and its Sel ident therefore cannot
+			// match either; descending is safe and finds x.y.n chains.
+		case *ast.Ident:
+			if atomicNames[v.Name] {
+				pass.Report(v, msg, v.Name)
+			}
+			return false
+		}
+		return true
+	})
+}

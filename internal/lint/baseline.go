@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Baseline is a multiset of accepted findings, keyed by (file, analyzer,
+// message). Line and column are deliberately not part of the key: a
+// baseline must survive unrelated edits that shift code up or down, or it
+// silently expires the moment anyone touches the file above a finding.
+type Baseline map[string]int
+
+func baselineKey(d Diagnostic) string {
+	return d.File + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// ReadBaseline parses a baseline file — the JSON array WriteJSON emits, so
+// capturing a baseline is just `betze-lint -format=json > lint.baseline`.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var diags []Diagnostic
+	if err := json.NewDecoder(r).Decode(&diags); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	b := make(Baseline, len(diags))
+	for _, d := range diags {
+		b[baselineKey(d)]++
+	}
+	return b, nil
+}
+
+// FilterBaseline returns the findings not covered by the baseline,
+// count-aware: a baseline holding two occurrences of a key absorbs two
+// findings with that key and surfaces the third. The input's sorted order
+// is preserved in the output.
+func FilterBaseline(diags []Diagnostic, b Baseline) []Diagnostic {
+	if len(b) == 0 {
+		return diags
+	}
+	remaining := make(Baseline, len(b))
+	for k, n := range b {
+		remaining[k] = n
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if k := baselineKey(d); remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

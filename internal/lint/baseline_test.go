@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/lint"
+)
+
+func diag(file, analyzer, msg string, line int) lint.Diagnostic {
+	return lint.Diagnostic{File: file, Analyzer: analyzer, Message: msg, Line: line, Col: 1}
+}
+
+// TestFilterBaseline checks the multiset semantics: keys match on (file,
+// analyzer, message) ignoring position, and counts are absorbed one-for-one.
+func TestFilterBaseline(t *testing.T) {
+	base, err := lint.ReadBaseline(strings.NewReader(`[
+		{"file": "a.go", "analyzer": "determinism", "message": "m1", "line": 10, "col": 3},
+		{"file": "a.go", "analyzer": "determinism", "message": "m1", "line": 20, "col": 3},
+		{"file": "b.go", "analyzer": "goleak", "message": "m2", "line": 5, "col": 1}
+	]`))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	diags := []lint.Diagnostic{
+		diag("a.go", "determinism", "m1", 11), // absorbed (line moved)
+		diag("a.go", "determinism", "m1", 21), // absorbed
+		diag("a.go", "determinism", "m1", 31), // third occurrence: new
+		diag("b.go", "goleak", "m2", 5),       // absorbed
+		diag("c.go", "lockbalance", "m3", 1),  // new file: new
+	}
+	got := lint.FilterBaseline(diags, base)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings after baseline, want 2: %v", len(got), got)
+	}
+	if got[0].Line != 31 || got[0].File != "a.go" {
+		t.Errorf("first surviving finding = %+v, want the third a.go occurrence", got[0])
+	}
+	if got[1].File != "c.go" {
+		t.Errorf("second surviving finding = %+v, want the c.go one", got[1])
+	}
+}
+
+// TestFilterBaselineEmpty checks a nil baseline passes everything through.
+func TestFilterBaselineEmpty(t *testing.T) {
+	diags := []lint.Diagnostic{diag("a.go", "x", "m", 1)}
+	if got := lint.FilterBaseline(diags, nil); len(got) != 1 {
+		t.Fatalf("nil baseline filtered findings: %v", got)
+	}
+}
+
+// TestReadBaselineMalformed checks the error path.
+func TestReadBaselineMalformed(t *testing.T) {
+	if _, err := lint.ReadBaseline(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed baseline parsed without error")
+	}
+}

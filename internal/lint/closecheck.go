@@ -54,9 +54,9 @@ func (closecheck) Run(pass *Pass) {
 
 // acquisition is one resource-binding assignment inside a function body.
 type acquisition struct {
-	name string   // the bound variable
+	name string // the bound variable
 	id   *ast.Ident
-	what string   // human label for the report
+	what string // human label for the report
 }
 
 func checkBody(pass *Pass, aliases map[string]string, body *ast.BlockStmt) {

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Flow describes one forward dataflow problem over a CFG. The framework is
+// deliberately small: facts flow from the entry along edges, blocks fold
+// their statements through Transfer, and joins merge predecessor facts —
+// union-shaped Join gives a may analysis ("the lock might be held here"),
+// intersection-shaped Join a must analysis ("an AppendSync definitely
+// executed before this point").
+type Flow[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Top is the optimistic initial fact, the identity of Join: joining Top
+	// with x yields x. Blocks whose predecessors have not been computed yet
+	// (loop back-edges on the first sweep, unreachable code) start here.
+	Top F
+	// Join merges the facts of two incoming edges.
+	Join func(a, b F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+	// Transfer folds one statement into the fact. It must interpret only
+	// the statement parts evaluated in the statement's own block — use
+	// OwnedExprs for compound statements.
+	Transfer func(s ast.Stmt, f F) F
+}
+
+// ForwardFlow iterates the problem to its fixpoint and returns every
+// block's IN fact (the fact holding before the block's first statement).
+// Statement-level facts are recovered by replaying Transfer from a block's
+// IN — see WalkFacts.
+func ForwardFlow[F any](g *CFG, fl Flow[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = fl.Top
+		out[b] = fl.Top
+	}
+	in[g.Entry] = fl.Entry
+
+	// Round-robin over blocks in index order (an approximation of reverse
+	// postorder good enough for the small functions a lint pass sees) until
+	// nothing changes. Monotone transfer + finite lattice ⇒ termination.
+	computed := make(map[*Block]bool, len(g.Blocks))
+	computed[g.Entry] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			f := in[b]
+			if b != g.Entry {
+				first := true
+				for _, p := range b.Preds {
+					if !computed[p] {
+						continue
+					}
+					if first {
+						f = out[p]
+						first = false
+					} else {
+						f = fl.Join(f, out[p])
+					}
+				}
+				if first {
+					f = fl.Top // unreachable or not yet fed
+				}
+			}
+			o := f
+			for _, s := range b.Stmts {
+				o = fl.Transfer(s, o)
+			}
+			if !fl.Equal(in[b], f) || !fl.Equal(out[b], o) || !computed[b] {
+				in[b], out[b] = f, o
+				computed[b] = true
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// WalkFacts replays the transfer function over every block, invoking visit
+// with the fact holding immediately *before* each statement — the hook
+// analyzers use to ask "was the journal written before this assignment?" or
+// "is the lock held at this channel send?".
+func WalkFacts[F any](g *CFG, in map[*Block]F, transfer func(s ast.Stmt, f F) F, visit func(s ast.Stmt, f F)) {
+	for _, b := range g.Blocks {
+		f := in[b]
+		for _, s := range b.Stmts {
+			visit(s, f)
+			f = transfer(s, f)
+		}
+	}
+}

@@ -13,6 +13,9 @@ import (
 // and the columnar shard store (zone maps feed pruning decisions, which
 // feed scan counters in benchmark output). The harness and the engines
 // legitimately read wall clocks (they measure); these packages must not.
+// The jobqueue and the web service are in scope too: both inject clocks
+// (Options.Now, Server latencies) and every residual wall-clock read must
+// carry an explained //lint:ignore, so new ones can't creep in silently.
 var DeterminismScope = []string{
 	"internal/core",
 	"internal/query",
@@ -22,6 +25,8 @@ var DeterminismScope = []string{
 	"internal/faultsim",
 	"internal/engine/scan",
 	"internal/shard",
+	"internal/jobqueue",
+	"cmd/betze-web",
 }
 
 // globalRandFuncs are the package-level math/rand functions backed by the

@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockbalance checks mutex discipline per function with a may-held forward
+// dataflow over the CFG:
+//
+//   - every Lock()/RLock() must be paired with an Unlock()/RUnlock() on the
+//     same receiver on every path to a return (a deferred unlock satisfies
+//     all paths at once and is the preferred idiom);
+//   - no lock may be held — deferred release included — across a blocking
+//     point: a journal AppendSync, a file Sync, a channel send or receive
+//     (ctx.Done() receives included), a blocking select, a WaitGroup or
+//     sync.Cond Wait, or a time.Sleep. A goroutine parked on any of these
+//     while holding the lock stalls every other critical section;
+//   - mutex values must not be copied: a copied lock guards nothing. The
+//     check is syntactic — variables and fields declared with sync.Mutex /
+//     sync.RWMutex type syntax are tracked per file (the lenient loader has
+//     no type information for the standard library).
+//
+// Lock identity is the rendered receiver expression ("mu", "q.mu"), which
+// is exact within one function — the analysis is intra-procedural, so a
+// helper that locks on behalf of its caller is out of scope by design (and
+// jobqueue's journal-under-mutex helper stays legal because of it).
+type lockbalance struct {
+	scope []string
+}
+
+// NewLockbalance returns the lockbalance analyzer restricted to packages
+// whose import path contains one of the scope segments; an empty scope
+// checks every package.
+func NewLockbalance(scope ...string) Analyzer { return &lockbalance{scope: scope} }
+
+func (l *lockbalance) Name() string { return "lockbalance" }
+func (l *lockbalance) Doc() string {
+	return "locks must be released on all paths, never copied, never held across blocking points"
+}
+
+// lockState is one lock's position in the may-held lattice.
+type lockState int
+
+const (
+	lockHeld     lockState = iota // locked, no release scheduled
+	lockDeferred                  // locked, a deferred unlock will release at return
+)
+
+// lockFact maps lock keys to their may-held state; absent means free.
+type lockFact map[string]lockState
+
+func lockJoin(a, b lockFact) lockFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if cur, ok := out[k]; !ok {
+			out[k] = v
+		} else if v == lockHeld || cur == lockHeld {
+			// Plain held is the worse state: a path without the deferred
+			// release reaches the exit still holding.
+			out[k] = lockHeld
+		}
+	}
+	return out
+}
+
+func lockEqual(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// unlockOf pairs the acquire method with its release.
+var unlockOf = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// blockingCalls are method names whose call parks the goroutine (or, for
+// AppendSync/Sync, blocks on a disk fsync) — poison while a lock is held.
+var blockingCalls = map[string]bool{
+	"AppendSync": true,
+	"Sync":       true,
+	"Wait":       true,
+	"Sleep":      true,
+}
+
+func (l *lockbalance) Run(pass *Pass) {
+	if len(l.scope) > 0 && !pathHasAny(pass.Pkg.Path, l.scope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		l.checkCopies(pass, f)
+		inspectFuncs(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+			l.checkBody(pass, body)
+		})
+	}
+}
+
+// checkBody runs the may-held analysis over one function body.
+func (l *lockbalance) checkBody(pass *Pass, body *ast.BlockStmt) {
+	// Fast path: no Lock/RLock call, nothing to track.
+	if !hasLockCall(body) {
+		return
+	}
+	g := BuildCFG(body)
+	// Comm statements of select clauses don't block by themselves — the
+	// select header decides (and is reported when it has no default), so the
+	// per-clause send/receive must not be double-reported.
+	commStmts := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					commStmts[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	transfer := func(s ast.Stmt, f lockFact) lockFact {
+		out, copied := f, false
+		mutate := func() lockFact {
+			if !copied {
+				cp := make(lockFact, len(f)+1)
+				for k, v := range f {
+					cp[k] = v
+				}
+				out, copied = cp, true
+			}
+			return out
+		}
+		if d, isDefer := s.(*ast.DeferStmt); isDefer {
+			if recv, name, _, ok := selCall(d.Call); ok {
+				if name == "Unlock" || name == "RUnlock" {
+					if key := exprKey(recv); key != "" {
+						k := lockKey(key, name == "RUnlock")
+						if _, held := out[k]; held {
+							mutate()[k] = lockDeferred
+						}
+					}
+				}
+			}
+			return out
+		}
+		inspectOwned(s, func(n ast.Node) bool {
+			recv, name, _, ok := selCall(n)
+			if !ok {
+				return true
+			}
+			key := exprKey(recv)
+			if key == "" {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				mutate()[lockKey(key, name == "RLock")] = lockHeld
+			case "Unlock", "RUnlock":
+				delete(mutate(), lockKey(key, name == "RUnlock"))
+			}
+			return true
+		})
+		return out
+	}
+	in := ForwardFlow(g, Flow[lockFact]{
+		Entry:    lockFact{},
+		Top:      lockFact{},
+		Join:     lockJoin,
+		Equal:    lockEqual,
+		Transfer: transfer,
+	})
+	WalkFacts(g, in, transfer, func(s ast.Stmt, f lockFact) {
+		// Unreleased at exit: a return reached while a lock is plain-held.
+		if ret, isRet := s.(*ast.ReturnStmt); isRet {
+			for _, key := range heldKeys(f, lockHeld) {
+				pass.Report(ret, "%s is still locked at this return on some path; unlock before returning (prefer defer %s.Unlock())", displayKey(key), baseKey(key))
+			}
+			return
+		}
+		if len(f) == 0 || commStmts[s] {
+			return
+		}
+		l.checkBlocking(pass, s, f)
+	})
+	// The implicit fall-off-the-end return: facts flowing into Exit.
+	exitFact := lockFact{}
+	first := true
+	for _, p := range g.Exit.Preds {
+		// Recompute the predecessor's OUT by replaying from IN.
+		o := in[p]
+		for _, s := range p.Stmts {
+			o = transfer(s, o)
+		}
+		// Returns and panics already reported above carry their own exits;
+		// only blocks falling off the end matter here.
+		if endsExplicitly(p) {
+			continue
+		}
+		if first {
+			exitFact, first = o, false
+		} else {
+			exitFact = lockJoin(exitFact, o)
+		}
+	}
+	if !first {
+		for _, key := range heldKeys(exitFact, lockHeld) {
+			pass.ReportPos(body.Rbrace, "%s is still locked when the function falls off the end on some path; unlock it (prefer defer %s.Unlock())", displayKey(key), baseKey(key))
+		}
+	}
+}
+
+// checkBlocking reports blocking points reached with any lock may-held.
+func (l *lockbalance) checkBlocking(pass *Pass, s ast.Stmt, f lockFact) {
+	keys := heldKeys(f, lockHeld, lockDeferred)
+	if len(keys) == 0 {
+		return
+	}
+	report := func(n ast.Node, what string) {
+		pass.Report(n, "%s while %s is held blocks every other critical section; release the lock first or //lint:ignore lockbalance with a reason", what, displayKey(keys[0]))
+	}
+	switch v := s.(type) {
+	case *ast.SendStmt:
+		report(v, "channel send")
+		return
+	case *ast.SelectStmt:
+		if !selectHasDefault(v) {
+			report(v, "blocking select")
+		}
+		return
+	}
+	inspectOwned(s, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v, "channel receive")
+				return false
+			}
+		case *ast.CallExpr:
+			if recv, name, _, ok := selCall(v); ok && blockingCalls[name] {
+				// x.Wait()/x.Sync() on the lock's own key would be a
+				// sync.Cond-style pairing; still blocking, still flagged.
+				_ = recv
+				report(v, name+"()")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkCopies flags copies of variables or fields declared with
+// sync.Mutex/sync.RWMutex type syntax: by-value parameters and results,
+// and assignments whose right-hand side is such a variable or field.
+func (l *lockbalance) checkCopies(pass *Pass, f *ast.File) {
+	aliases := importAliases(f)
+	syncAlias := ""
+	for alias, path := range aliases {
+		if path == "sync" {
+			syncAlias = alias
+		}
+	}
+	if syncAlias == "" {
+		return
+	}
+	isMutexType := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == syncAlias && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+	}
+
+	// Collect the names declared with a by-value mutex type: package/local
+	// vars and struct fields.
+	mutexNames := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Field:
+			if isMutexType(v.Type) {
+				for _, name := range v.Names {
+					mutexNames[name.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil && isMutexType(v.Type) {
+				for _, name := range v.Names {
+					mutexNames[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Type.Params != nil {
+				for _, p := range v.Type.Params.List {
+					if isMutexType(p.Type) {
+						pass.Report(p, "sync.%s passed by value; a copied lock guards nothing — pass a pointer", typeName(p.Type))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if name := mutexOperand(rhs, mutexNames); name != "" {
+					pass.Report(rhs, "assignment copies lock value %q; a copied lock guards nothing — use a pointer", name)
+				}
+			}
+		case *ast.CallExpr:
+			if _, _, _, isMethod := selCall(v); isMethod {
+				return true // method calls on the mutex itself are fine
+			}
+			for _, arg := range v.Args {
+				if name := mutexOperand(arg, mutexNames); name != "" {
+					pass.Report(arg, "call copies lock value %q into a parameter; pass a pointer", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOperand reports the name of a by-value use of a tracked mutex — a
+// bare ident or field selector, not an address-of and not a method call.
+func mutexOperand(e ast.Expr, mutexNames map[string]bool) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if mutexNames[v.Name] {
+			return v.Name
+		}
+	case *ast.SelectorExpr:
+		if mutexNames[v.Sel.Name] {
+			if key := exprKey(v); key != "" {
+				return key
+			}
+			return v.Sel.Name
+		}
+	}
+	return ""
+}
+
+func typeName(e ast.Expr) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Mutex"
+}
+
+// lockKey distinguishes the read and write sides of an RWMutex.
+func lockKey(key string, read bool) string {
+	if read {
+		return key + "\x00r"
+	}
+	return key
+}
+
+func baseKey(key string) string {
+	return strings.TrimSuffix(key, "\x00r")
+}
+
+func displayKey(key string) string {
+	if strings.HasSuffix(key, "\x00r") {
+		return baseKey(key) + " (read lock)"
+	}
+	return key
+}
+
+// heldKeys lists the lock keys in any of the given states, sorted for
+// deterministic reports.
+func heldKeys(f lockFact, states ...lockState) []string {
+	var keys []string
+	for k, v := range f {
+		for _, st := range states {
+			if v == st {
+				keys = append(keys, k)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hasLockCall is the cheap pre-filter for the dataflow pass.
+func hasLockCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, name, _, ok := selCall(n); ok && (name == "Lock" || name == "RLock") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// endsExplicitly reports whether the block's last statement is a return or
+// a panic (so the fall-off-the-end exit check skips it).
+func endsExplicitly(b *Block) bool {
+	if len(b.Stmts) == 0 {
+		return false
+	}
+	switch last := b.Stmts[len(b.Stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(last.X)
+	}
+	return false
+}
+
+// selectHasDefault reports whether a select has a default clause (making it
+// non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

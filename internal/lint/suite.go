@@ -5,12 +5,17 @@ package lint
 // invariants", in report order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
+		NewAtomicmix(),
 		NewAtomicwrite(AtomicWriteScope...),
 		NewClosecheck(),
 		NewCtxplumb(),
 		NewDeterminism(DeterminismScope...),
 		NewErrwrap(),
+		NewGoleak("internal/", "cmd/"),
+		NewJournalorder("internal/jobqueue"),
+		NewLockbalance(),
 		NewObsvocab(),
+		NewWgdiscipline(),
 	}
 }
 

@@ -1,0 +1,40 @@
+// Package bad mixes atomic and plain access to the same fields: the plain
+// reads and writes race the atomic ones.
+package bad
+
+import "sync/atomic"
+
+// Counter counts hits atomically... mostly.
+type Counter struct {
+	hits  int64
+	total int64
+}
+
+// Inc is the atomic path.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Read bypasses the atomic API: a plain read of an atomic field.
+func (c *Counter) Read() int64 {
+	return c.hits
+}
+
+// Reset bypasses it on the write side.
+func (c *Counter) Reset() {
+	c.total = 0
+}
+
+// global is accessed atomically in Bump and plainly in Peek.
+var global int64
+
+// Bump is the atomic path for the package-level counter.
+func Bump() {
+	atomic.AddInt64(&global, 1)
+}
+
+// Peek reads it plainly.
+func Peek() int64 {
+	return global
+}

@@ -1,0 +1,40 @@
+// Package clean keeps every access to atomic state on the atomic API, and
+// shows the exempt shapes: construction in composite literals, address-of
+// feeding the atomic calls, and an explained //lint:ignore.
+package clean
+
+import "sync/atomic"
+
+// Counter is accessed exclusively through sync/atomic.
+type Counter struct {
+	hits int64
+	name string
+}
+
+// NewCounter constructs the struct before it is shared — a composite
+// literal write is not a racing access.
+func NewCounter(name string) *Counter {
+	return &Counter{hits: 0, name: name}
+}
+
+// Inc and Load stay on the atomic API.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load reads atomically.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Name touches only the non-atomic field.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// Snapshot reads the field plainly under an external guarantee the ignore
+// spells out.
+func (c *Counter) Snapshot() int64 {
+	//lint:ignore atomicmix called only after all writer goroutines joined, no concurrent access remains
+	return c.hits
+}

@@ -1,0 +1,34 @@
+// Package bad spawns fire-and-forget goroutines: no join signal, no
+// context, nothing the spawner could wait on or cancel.
+package bad
+
+// Background spawns a goroutine nothing can join or cancel.
+func Background(work func() error) {
+	go func() {
+		_ = work()
+	}()
+}
+
+// loop runs forever with no cancellation hook.
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		_ = i * i
+	}
+}
+
+// SpawnNamed resolves the same-package callee and finds no join signal.
+func SpawnNamed() {
+	go loop(10)
+}
+
+// SpawnMethod spawns a joinless method.
+type Runner struct{ n int }
+
+func (r *Runner) run() {
+	r.n++
+}
+
+// Spawn leaks the method goroutine.
+func (r *Runner) Spawn() {
+	go r.run()
+}

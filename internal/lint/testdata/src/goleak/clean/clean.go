@@ -1,0 +1,76 @@
+// Package clean spawns only joinable or cancellable goroutines: WaitGroup
+// joins, channel completion signals, context cancellation — plus one
+// intentional process-lifetime goroutine under a //lint:ignore.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// WithWaitGroup joins via wg.Done.
+func WithWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// WithChannel signals completion on a channel.
+func WithChannel(work func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return errc
+}
+
+// WithClose signals completion by closing a channel.
+func WithClose(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// worker honours its context.
+func worker(ctx context.Context, jobs <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-jobs:
+			_ = j
+		}
+	}
+}
+
+// WithContext passes a context to a named worker.
+func WithContext(ctx context.Context, jobs chan int) {
+	go worker(ctx, jobs)
+}
+
+// CapturedContext captures ctx inside the literal.
+func CapturedContext(ctx context.Context, work func()) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// AcceptLoop is intentionally process-lifetime; the ignore documents it.
+func AcceptLoop(accept func() error) {
+	//lint:ignore goleak accept loop lives for the whole process, torn down by exit
+	go func() {
+		for {
+			if err := accept(); err != nil {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,45 @@
+// Package bad mutates journaled queue state before the journal append: a
+// crash between the two leaves memory ahead of the journal, and recovery
+// resurrects or loses the update.
+package bad
+
+import "example.com/runlog"
+
+// Queue journals every transition through its runlog writer.
+type Queue struct {
+	w     *runlog.Writer
+	jobs  map[string]int
+	order []string
+	seq   int
+}
+
+// Enqueue mutates first and journals second — the crash window.
+func (q *Queue) Enqueue(id string) error {
+	q.jobs[id] = 1
+	q.order = append(q.order, id)
+	return q.w.AppendSync([]byte(id))
+}
+
+// Remove deletes from memory before the journal knows.
+func (q *Queue) Remove(id string) error {
+	delete(q.jobs, id)
+	return q.w.AppendSync([]byte(id))
+}
+
+// BumpOnBranch journals on one path but mutates on both.
+func (q *Queue) BumpOnBranch(id string, durable bool) error {
+	if durable {
+		if err := q.w.AppendSync([]byte(id)); err != nil {
+			return err
+		}
+	}
+	q.seq++
+	return nil
+}
+
+// Alias mutates through a receiver-tainted local.
+func (q *Queue) Alias(id string) error {
+	jobs := q.jobs
+	jobs[id] = 2
+	return q.w.AppendSync([]byte(id))
+}

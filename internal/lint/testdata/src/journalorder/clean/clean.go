@@ -1,0 +1,67 @@
+// Package clean journals before it mutates, marks rebuilt-on-restart
+// fields volatile, exempts recovery replay at function level, and carries
+// one line-level suppression.
+package clean
+
+import "example.com/runlog"
+
+// Queue journals every durable transition; scheduling state is volatile.
+type Queue struct {
+	w     *runlog.Writer
+	jobs  map[string]int
+	order []string
+	// notify is rebuilt on every Open. volatile: wakes pollers, never journaled.
+	notify chan struct{}
+	// draining is runtime-only admission state. volatile: reset on restart.
+	draining bool
+}
+
+// Enqueue appends first, mutates second.
+func (q *Queue) Enqueue(id string) error {
+	if err := q.w.AppendSync([]byte(id)); err != nil {
+		return err
+	}
+	q.jobs[id] = 1
+	q.order = append(q.order, id)
+	return nil
+}
+
+// append is the same-package journaling helper the analyzer resolves.
+func (q *Queue) append(payload []byte) error {
+	return q.w.AppendSync(payload)
+}
+
+// Remove journals through the helper before deleting.
+func (q *Queue) Remove(id string) error {
+	if err := q.append([]byte(id)); err != nil {
+		return err
+	}
+	delete(q.jobs, id)
+	return nil
+}
+
+// Drain flips only volatile state: no journal entry needed.
+func (q *Queue) Drain() {
+	q.draining = true
+	close(q.notify)
+	q.notify = make(chan struct{})
+}
+
+// replay folds the journal into memory during recovery — the one place
+// where memory is written from the journal instead of ahead of it.
+//
+//lint:ignore journalorder replay reconstructs memory FROM the journal; appending here would duplicate records
+func (q *Queue) replay(ids []string) {
+	for _, id := range ids {
+		q.jobs[id] = 1
+		q.order = append(q.order, id)
+	}
+}
+
+// Requeue documents one deliberate mutate-before-append with a line-level
+// suppression.
+func (q *Queue) Requeue(id string) error {
+	//lint:ignore journalorder the slot was already journaled by Enqueue; this only restores the in-memory view
+	q.jobs[id] = 1
+	return q.w.AppendSync([]byte(id))
+}

@@ -1,0 +1,68 @@
+// Package bad violates every lockbalance rule: a lock left held on an
+// early return, a lock held across blocking points, and copied mutexes.
+package bad
+
+import "sync"
+
+// Store holds a mutex-guarded map.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// LeakOnError returns early while still holding the lock.
+func (s *Store) LeakOnError(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// SendWhileLocked blocks on a channel send with the lock held.
+func (s *Store) SendWhileLocked(ch chan int, k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.m[k]
+}
+
+// WaitWhileLocked parks on a WaitGroup with the lock held.
+func (s *Store) WaitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait()
+	s.mu.Unlock()
+}
+
+// SelectWhileLocked blocks in a select with the lock held.
+func (s *Store) SelectWhileLocked(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.m["v"] = v
+	}
+}
+
+// ByValue receives the mutex by value: the copy guards nothing.
+func ByValue(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Reassign copies a mutex value into a second variable.
+func Reassign() {
+	var mu sync.Mutex
+	mu2 := mu
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+// FallsOffEnd acquires on one branch and falls off the end still holding.
+func FallsOffEnd(cond bool) {
+	var mu sync.Mutex
+	if cond {
+		mu.Lock()
+	}
+}

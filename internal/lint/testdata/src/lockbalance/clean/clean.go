@@ -1,0 +1,80 @@
+// Package clean follows lock discipline: deferred release, branch-balanced
+// release, no blocking while held, pointers instead of copies — plus one
+// deliberate violation under a //lint:ignore to exercise suppression.
+package clean
+
+import "sync"
+
+// Store holds a mutex-guarded map.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Get uses the deferred-release idiom.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// GetInline releases on both paths explicitly.
+func (s *Store) GetInline(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// SendOutside copies the value out under the lock and sends after release.
+func (s *Store) SendOutside(ch chan int, k string) {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	ch <- v
+}
+
+// NonBlockingSelect polls with a default clause while holding the lock —
+// legal, since a select with default never parks.
+func (s *Store) NonBlockingSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.m["v"] = v
+	default:
+	}
+}
+
+// ByPointer takes the lock by pointer, as it must be.
+func ByPointer(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// RGet uses the read side of an RWMutex symmetrically.
+type RStore struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get releases the read lock via defer.
+func (r *RStore) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// SuppressedSend deliberately sends while holding the lock; the ignore
+// documents why (the channel is buffered and owned by this store).
+func (s *Store) SuppressedSend(ch chan int, k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockbalance the channel is buffered with capacity for every waiter, the send cannot park
+	ch <- s.m[k]
+}

@@ -1,0 +1,56 @@
+// Package bad breaks each WaitGroup rule: Add that does not dominate the
+// spawn, Add from inside the goroutine, and a conditional Done.
+package bad
+
+import "sync"
+
+// AddAfterSpawn calls Add after the goroutine is already running: Wait can
+// return before the goroutine is counted.
+func AddAfterSpawn(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// AddOnOneBranch only Adds on one path to the spawn.
+func AddOnOneBranch(work func(), counted bool) {
+	var wg sync.WaitGroup
+	if counted {
+		wg.Add(1)
+	}
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// AddInside moves Add into the goroutine, racing Wait.
+func AddInside(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ConditionalDone skips Done on the error path, deadlocking Wait.
+func ConditionalDone(work func() error) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if err := work(); err != nil {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,72 @@
+// Package clean follows WaitGroup discipline: Add before (and dominating)
+// every spawn, deferred Done, no Add inside goroutines — plus a nested
+// inner WaitGroup and a suppressed violation.
+package clean
+
+import "sync"
+
+// FanOut is the canonical loop: Add(1) immediately before each spawn.
+func FanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func()) {
+			defer wg.Done()
+			job()
+		}(job)
+	}
+	wg.Wait()
+}
+
+// AddOnce counts the whole fleet up front.
+func AddOnce(n int, work func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// NestedGroups declares an inner WaitGroup inside the goroutine for its own
+// sub-spawns: Add on a locally-declared group is not a race against the
+// outer Wait.
+func NestedGroups(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			work()
+		}()
+		inner.Wait()
+	}()
+	wg.Wait()
+}
+
+// Joiner spawns a goroutine that only Waits — it is not counted, so no Add
+// needs to dominate it.
+func Joiner(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// SuppressedLateAdd documents a deliberate late Add; the ignore explains
+// why it is safe here (Wait is never called in this function).
+func SuppressedLateAdd(work func()) {
+	var wg sync.WaitGroup
+	//lint:ignore wgdiscipline no Wait in this function; the group is handed to the caller before use
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1)
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wgdiscipline enforces the three WaitGroup rules that make Wait() a real
+// barrier rather than a race:
+//
+//  1. Add must dominate the go statement it accounts for — Add after (or
+//     merely parallel to) the spawn lets Wait return before the goroutine
+//     is counted;
+//  2. Add must never run inside the spawned goroutine itself — the
+//     canonical misuse, racing Add against Wait;
+//  3. a goroutine that is counted (wg.Done appears in its body) must reach
+//     Done on every path, preferably via defer — a conditional Done
+//     deadlocks Wait on the paths that skip it.
+//
+// Rules 1 and 2 use the dominator tree of the spawning function's CFG;
+// rule 3 is a must-reach analysis over the goroutine body's own CFG, where
+// a deferred Done satisfies every path by construction. Matching is by
+// method name (Add/Done/Wait) on the same receiver key — the lenient
+// loader has no sync.WaitGroup type information — so a receiver that never
+// calls Add anywhere in the function is out of scope.
+type wgdiscipline struct {
+	scope []string
+}
+
+// NewWgdiscipline returns the wgdiscipline analyzer restricted to packages
+// whose import path contains one of the scope segments; an empty scope
+// checks every package.
+func NewWgdiscipline(scope ...string) Analyzer { return &wgdiscipline{scope: scope} }
+
+func (w *wgdiscipline) Name() string { return "wgdiscipline" }
+func (w *wgdiscipline) Doc() string {
+	return "WaitGroup Add dominates its go statement; Done on all goroutine paths; no Add inside the goroutine"
+}
+
+func (w *wgdiscipline) Run(pass *Pass) {
+	if len(w.scope) > 0 && !pathHasAny(pass.Pkg.Path, w.scope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		inspectFuncs(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+			w.checkBody(pass, body)
+		})
+	}
+}
+
+// wgCall matches x.Add(...), x.Done(), x.Wait() and returns the receiver
+// key ("wg", "p.wg") and the method name.
+func wgCall(n ast.Node) (key, method string, ok bool) {
+	recv, name, _, isSel := selCall(n)
+	if !isSel || (name != "Add" && name != "Done" && name != "Wait") {
+		return "", "", false
+	}
+	key = exprKey(recv)
+	if key == "" {
+		return "", "", false
+	}
+	return key, name, true
+}
+
+// checkBody applies all three rules to one function body. inspectFuncs
+// already recurses into nested literals, so only this body's own
+// statements (not FuncLit interiors) are considered for rules 1 and 2.
+func (w *wgdiscipline) checkBody(pass *Pass, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+
+	// Collect, per WaitGroup key, the sites of Add calls, and the go
+	// statements. Sites carry the statement index inside their block so
+	// same-block ordering (Add after go in straight-line code) is caught —
+	// block-level dominance alone would miss it.
+	type site struct {
+		block *Block
+		idx   int
+	}
+	addSites := map[string][]site{} // key -> sites of x.Add(...)
+	type spawn struct {
+		gs    *ast.GoStmt
+		block *Block
+		idx   int
+		lit   *ast.FuncLit
+	}
+	var spawns []spawn
+	for _, b := range g.Blocks {
+		for i, s := range b.Stmts {
+			if gs, isGo := s.(*ast.GoStmt); isGo {
+				lit, _ := gs.Call.Fun.(*ast.FuncLit)
+				spawns = append(spawns, spawn{gs: gs, block: b, idx: i, lit: lit})
+			}
+			inspectOwned(s, func(n ast.Node) bool {
+				if key, method, ok := wgCall(n); ok && method == "Add" {
+					addSites[key] = append(addSites[key], site{block: b, idx: i})
+				}
+				return true
+			})
+		}
+	}
+
+	var idom []int
+	for _, sp := range spawns {
+		// Which WaitGroups is this goroutine counted against? For a spawned
+		// literal: keys it calls Done on. For go f(&wg): keys passed as
+		// arguments (the callee is assumed to Done). A goroutine that only
+		// calls Wait on a key is a joiner, not counted, and needs no Add.
+		var keys []string
+		if sp.lit != nil {
+			for key := range addSites {
+				if callsDone(sp.lit.Body, key) {
+					keys = append(keys, key)
+				}
+			}
+		} else {
+			for key := range addSites {
+				for _, arg := range sp.gs.Call.Args {
+					if mentionsKey(arg, key) {
+						keys = append(keys, key)
+						break
+					}
+				}
+			}
+		}
+		for _, key := range keys {
+			// Rule 1: some Add for this key dominates the spawn — a strictly
+			// dominating block, or an earlier statement in the same block.
+			if idom == nil {
+				idom = g.Dominators()
+			}
+			dominated := false
+			for _, as := range addSites[key] {
+				if as.block == sp.block {
+					dominated = dominated || as.idx < sp.idx
+				} else if g.Dominates(idom, as.block, sp.block) {
+					dominated = true
+				}
+			}
+			if !dominated {
+				pass.Report(sp.gs, "go statement for WaitGroup %q is not dominated by %s.Add: Wait may return before this goroutine is counted", key, key)
+			}
+		}
+		if sp.lit == nil {
+			continue
+		}
+		// Rule 2: no Add inside the spawned goroutine on a captured
+		// WaitGroup — Add-from-inside races Wait. A WaitGroup the goroutine
+		// declares for its own sub-goroutines is fine.
+		ast.Inspect(sp.lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if key, method, ok := wgCall(n); ok && method == "Add" && !declaresIdent(sp.lit.Body, baseIdent(key)) {
+				pass.Report(n, "WaitGroup %s.Add inside the spawned goroutine races Wait; Add before the go statement", key)
+			}
+			return true
+		})
+		// Rule 3: if the body calls Done on some key, Done must be reached
+		// on every path out of the body.
+		w.checkDoneAllPaths(pass, sp.gs, sp.lit.Body)
+	}
+}
+
+// checkDoneAllPaths verifies that every Done-calling goroutine body reaches
+// Done on all paths. A defer x.Done() anywhere satisfies all paths; an
+// inline Done is must-reach-analyzed over the body's CFG.
+func (w *wgdiscipline) checkDoneAllPaths(pass *Pass, at ast.Node, body *ast.BlockStmt) {
+	doneKeys := map[string]bool{}
+	deferredKeys := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if ds, isDefer := n.(*ast.DeferStmt); isDefer {
+			if key, method, ok := wgCall(ds.Call); ok && method == "Done" {
+				deferredKeys[key] = true
+			}
+			return true
+		}
+		if key, method, ok := wgCall(n); ok && method == "Done" {
+			doneKeys[key] = true
+		}
+		return true
+	})
+	for key := range deferredKeys {
+		delete(doneKeys, key) // deferred Done runs on every exit
+	}
+	if len(doneKeys) == 0 {
+		return
+	}
+
+	g := BuildCFG(body)
+	for key := range doneKeys {
+		// Must analysis: fact = "Done(key) definitely executed".
+		in := ForwardFlow(g, Flow[bool]{
+			Entry: false,
+			Top:   true,
+			Join:  func(a, b bool) bool { return a && b },
+			Equal: func(a, b bool) bool { return a == b },
+			Transfer: func(s ast.Stmt, f bool) bool {
+				if f {
+					return true
+				}
+				if _, isDefer := s.(*ast.DeferStmt); isDefer {
+					return f // deferred calls were handled above
+				}
+				done := false
+				inspectOwned(s, func(n ast.Node) bool {
+					if k, method, ok := wgCall(n); ok && method == "Done" && k == key {
+						done = true
+					}
+					return !done
+				})
+				return f || done
+			},
+		})
+		// Every edge into Exit must carry Done-executed. Replay each
+		// predecessor block to its OUT fact.
+		for _, p := range g.Exit.Preds {
+			f := in[p]
+			var last ast.Stmt
+			for _, s := range p.Stmts {
+				last = s
+				if f {
+					break
+				}
+				done := false
+				inspectOwned(s, func(n ast.Node) bool {
+					if k, method, ok := wgCall(n); ok && method == "Done" && k == key {
+						done = true
+					}
+					return !done
+				})
+				f = f || done
+			}
+			if !f {
+				n := ast.Node(at)
+				if last != nil {
+					n = last
+				}
+				pass.Report(n, "goroutine calls %s.Done but a path exits without it, deadlocking Wait; use defer %s.Done()", key, key)
+				break // one report per key is enough
+			}
+		}
+	}
+}
+
+// baseIdent returns the leading identifier of a dotted key ("p.wg" -> "p").
+func baseIdent(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// declaresIdent reports whether the block declares name (var decl or :=)
+// outside nested function literals.
+func declaresIdent(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ValueSpec:
+			for _, id := range v.Names {
+				if id.Name == name {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok.String() == ":=" {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsDone reports whether the body calls key.Done(), inline or deferred,
+// outside nested literals.
+func callsDone(body *ast.BlockStmt, key string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if k, method, ok := wgCall(n); ok && method == "Done" && k == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsKey reports whether any expression inside n has the given exprKey.
+func mentionsKey(n ast.Node, key string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if e, isExpr := c.(ast.Expr); isExpr && exprKey(e) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
