@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-self race race-core race-engine race-service race-tools chaos crash serve-crash check bench bench-short bench-paper clean
+.PHONY: all build test vet lint lint-self race race-core race-engine race-service race-tools chaos crash crashfuzz crashfuzz-deep serve-crash check bench bench-short bench-paper clean
 
 all: build
 
@@ -66,6 +66,22 @@ crash:
 		./internal/runlog/... ./internal/fsatomic/... ./internal/harness/... \
 		./internal/core/... ./cmd/betze-bench/...
 
+# Crash-point consistency harness: record the durability stack's op traces
+# over the in-memory errfs, simulate power loss at every sync boundary (and
+# between them, under torn/keep-all policies), re-run recovery at each point
+# and check the four invariants: no acked record lost, no torn artifact
+# under a final name, jobqueue replay consistent with the ack history, and
+# byte-identical exports from a resumed campaign. Bounded sampling; the
+# schedule derives from -errfs-seed (default 1) and is fully reproducible.
+crashfuzz:
+	$(GO) run ./cmd/betze-bench -crashfuzz
+
+# Exhaustive enumeration of every crash point in every trace, plus more
+# campaign resume points. Not part of `make check`; run before touching
+# runlog/fsatomic/jobqueue internals.
+crashfuzz-deep:
+	$(GO) run ./cmd/betze-bench -crashfuzz-deep
+
 # Service-level durability gate: SIGKILL a betze-web subprocess mid-campaign,
 # restart it over the same data directory, and require the recovered server
 # to publish an artifact byte-identical to an uninterrupted baseline run,
@@ -73,7 +89,7 @@ crash:
 serve-crash:
 	$(GO) test -race -run 'TestServeCrashResume' -v ./cmd/betze-web/
 
-check: vet lint lint-self race chaos crash serve-crash bench-short
+check: vet lint lint-self race chaos crash crashfuzz serve-crash bench-short
 
 # Perf suite: compiled predicates vs. the interface-dispatch path, the
 # shared scan kernel, and zone-map shard pruning (the skip= columns show the

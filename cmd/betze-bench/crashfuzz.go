@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/joda-explore/betze/internal/errfs"
+	"github.com/joda-explore/betze/internal/errfs/crashpoint"
+	"github.com/joda-explore/betze/internal/harness"
+	"github.com/joda-explore/betze/internal/runlog"
+)
+
+// crashFuzzLimits bounds the enumeration per workload: the bounded profile
+// backs `make crashfuzz` in CI, the deep profile is for manual runs.
+type crashFuzzLimits struct {
+	perWorkload  int // crash points per package workload (<= 0: exhaustive)
+	resumePoints int // harness resume re-runs (each replays a campaign)
+}
+
+// runCrashFuzz enumerates simulated power-loss states across the durability
+// stack and re-runs each layer's recovery at every one, checking the four
+// invariants the stack claims: no acked record lost (runlog), no torn
+// artifact under its final name (fsatomic), replay consistent with the ack
+// history (jobqueue), and byte-identical exports from a resumed campaign
+// (harness). The whole schedule derives from a single seed.
+func runCrashFuzz(out io.Writer, seed int64, deep bool) error {
+	limits := crashFuzzLimits{perWorkload: 180, resumePoints: 4}
+	if deep {
+		limits = crashFuzzLimits{perWorkload: 0, resumePoints: 16}
+	}
+
+	total := crashpoint.Report{Workload: "total"}
+	for _, phase := range []struct {
+		name string
+		run  func(int64, int) crashpoint.Report
+	}{
+		{"runlog", crashpoint.FuzzRunlog},
+		{"fsatomic", crashpoint.FuzzFsatomic},
+		{"jobqueue", crashpoint.FuzzJobqueue},
+	} {
+		rep := phase.run(seed, limits.perWorkload)
+		fmt.Fprintf(out, "crashfuzz %-8s %4d crash points, %d violation(s)\n",
+			phase.name, rep.Points, len(rep.Violations))
+		total.Merge(rep)
+	}
+
+	points, violations, err := crashFuzzHarness(out, seed, limits.resumePoints)
+	if err != nil {
+		return fmt.Errorf("crashfuzz harness: %w", err)
+	}
+	fmt.Fprintf(out, "crashfuzz %-8s %4d crash points, %d violation(s)\n",
+		"harness", points, len(violations))
+	total.Points += points
+	for _, v := range violations {
+		total.Violations = append(total.Violations, crashpoint.Violation{Invariant: "resume-divergence", Detail: v})
+	}
+
+	fmt.Fprintf(out, "crashfuzz total    %4d crash points (seed %d)\n", total.Points, seed)
+	if len(total.Violations) > 0 {
+		for _, v := range total.Violations {
+			fmt.Fprintf(out, "  VIOLATION %s\n", v)
+		}
+		return fmt.Errorf("%d invariant violation(s) across %d crash points", len(total.Violations), total.Points)
+	}
+	fmt.Fprintln(out, "all invariants hold")
+	return nil
+}
+
+// crashFuzzHarness checks invariant 4: a campaign journaled over a
+// recording filesystem, crashed at a sync boundary and resumed from the
+// surviving journal, exports byte-identical results. Deterministic timing
+// makes byte equality the meaningful equality.
+func crashFuzzHarness(out io.Writer, seed int64, resumePoints int) (int, []string, error) {
+	dataDir, err := os.MkdirTemp("", "betze-crashfuzz-*")
+	if err != nil {
+		return 0, nil, err
+	}
+	defer os.RemoveAll(dataDir)
+	cfg := harness.Config{
+		Dir: dataDir, TwitterDocs: 300, Sessions: 2, Seed: 123, DetTiming: true,
+	}
+	exp, err := harness.ByID("table1")
+	if err != nil {
+		return 0, nil, err
+	}
+	const dir = "journal"
+	const fingerprint = `{"crashfuzz":"table1"}`
+	ctx := context.Background()
+
+	runCampaign := func(fsys errfs.FS, replay *harness.Replay, fresh bool) ([]byte, error) {
+		var w *runlog.Writer
+		var err error
+		if fresh {
+			w, err = runlog.Create(dir, runlog.Options{FS: fsys})
+		} else {
+			w, err = runlog.Open(dir, runlog.Options{FS: fsys})
+		}
+		if err != nil {
+			return nil, err
+		}
+		journal := harness.NewRunJournal(w, cfg.Obs)
+		journal.RunStart(fingerprint)
+		env, err := harness.NewEnv(cfg)
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		defer env.Close()
+		env.SetJournal(journal, replay)
+		res, _, err := env.RunExperiment(ctx, exp)
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		if err := journal.Close(); err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	}
+
+	// Baseline: the uninterrupted campaign, journaled over a recording FS.
+	mem := errfs.NewMem()
+	baseline, err := runCampaign(mem, nil, true)
+	if err != nil {
+		return 0, nil, fmt.Errorf("baseline campaign: %w", err)
+	}
+	trace := mem.Trace()
+
+	// Crash at fsync boundaries (the stack's durability points) under the
+	// pessimistic policy, resume from what survived, compare exports.
+	var boundaries []int
+	for i, op := range trace {
+		if op.Kind == errfs.OpFsync {
+			boundaries = append(boundaries, i+1)
+		}
+	}
+	if len(boundaries) == 0 {
+		return 0, nil, errors.New("campaign journal recorded no fsync boundaries")
+	}
+	picked := boundaries
+	if resumePoints > 0 && len(picked) > resumePoints {
+		sampled := make([]int, 0, resumePoints)
+		for i := 0; i < resumePoints; i++ {
+			sampled = append(sampled, boundaries[i*(len(boundaries)-1)/(resumePoints-1)])
+		}
+		picked = sampled
+	}
+
+	var violations []string
+	for _, idx := range picked {
+		pt := crashpoint.Point{Index: idx, Policy: crashpoint.DropUnsynced, Seed: seed}
+		crashed, err := crashpoint.Materialize(trace, pt)
+		if err != nil {
+			return len(picked), violations, err
+		}
+		var replay *harness.Replay
+		fresh := false
+		recovery, err := runlog.RecoverFS(crashed, dir)
+		switch {
+		case errors.Is(err, runlog.ErrNoJournal):
+			fresh = true
+		case err != nil:
+			violations = append(violations, fmt.Sprintf("%s: recover: %v", pt, err))
+			continue
+		default:
+			replay, err = harness.NewReplay(recovery)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("%s: replay parse: %v", pt, err))
+				continue
+			}
+			if fp := replay.Fingerprint(); fp != "" && fp != fingerprint {
+				violations = append(violations, fmt.Sprintf("%s: fingerprint diverged: %s", pt, fp))
+				continue
+			}
+		}
+		resumed, err := runCampaign(crashed, replay, fresh)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: resumed campaign: %v", pt, err))
+			continue
+		}
+		if !bytes.Equal(resumed, baseline) {
+			violations = append(violations,
+				fmt.Sprintf("%s: resumed export diverges from baseline (%d vs %d bytes)", pt, len(resumed), len(baseline)))
+		}
+	}
+	return len(picked), violations, nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCrashFuzzBoundedPasses: the bounded profile behind `make crashfuzz`
+// must enumerate at least 100 distinct crash points, hold every invariant,
+// and be reproducible from the seed alone.
+func TestCrashFuzzBoundedPasses(t *testing.T) {
+	var a bytes.Buffer
+	if err := runCrashFuzz(&a, 7, false); err != nil {
+		t.Fatalf("crashfuzz reported violations:\n%s\nerr: %v", a.String(), err)
+	}
+	if !strings.Contains(a.String(), "all invariants hold") {
+		t.Fatalf("missing verdict line:\n%s", a.String())
+	}
+	m := regexp.MustCompile(`total\s+(\d+) crash points`).FindStringSubmatch(a.String())
+	if m == nil {
+		t.Fatalf("no total line:\n%s", a.String())
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 100 {
+		t.Fatalf("only %d crash points enumerated, want >= 100", n)
+	}
+
+	var b bytes.Buffer
+	if err := runCrashFuzz(&b, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestCrashFuzzCLIDispatch: the -crashfuzz flag short-circuits the normal
+// experiment flow, and -errfs-seed reaches the schedule.
+func TestCrashFuzzCLIDispatch(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-crashfuzz", "-errfs-seed", "11"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(seed 11)") {
+		t.Fatalf("seed not threaded into the report:\n%s", out.String())
+	}
+}

@@ -86,11 +86,17 @@ func run(args []string, out io.Writer) error {
 	perfOut := fs.String("perf-out", "", "write the perf report (BENCH_*.json format) atomically to this file")
 	perfDocs := fs.Int("perf-docs", 0, "perf suite document count (default 800)")
 	perfRepeats := fs.Int("perf-repeats", 0, "perf suite passes per measurement, fastest wins (default 5)")
+	crashfuzz := fs.Bool("crashfuzz", false, "run the bounded crash-point consistency harness over the durability stack and exit")
+	crashfuzzDeep := fs.Bool("crashfuzz-deep", false, "exhaustive crash-point enumeration (slow); implies -crashfuzz")
+	errfsSeed := fs.Int64("errfs-seed", 1, "seed for the storage-fault schedule and torn-crash choices (crashfuzz)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *perf {
 		return runPerf(perfOptions{Docs: *perfDocs, Repeats: *perfRepeats, Seed: cfg.Seed, Out: *perfOut}, out)
+	}
+	if *crashfuzz || *crashfuzzDeep {
+		return runCrashFuzz(out, *errfsSeed, *crashfuzzDeep)
 	}
 
 	var err error

@@ -81,7 +81,12 @@ func (s *server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
-	snap, err := s.queue.Submit(tenant, payload)
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	snap, err := queue.Submit(tenant, payload)
 	if err != nil {
 		s.shed(w, err)
 		return
@@ -108,12 +113,22 @@ func (s *server) shed(w http.ResponseWriter, err error) {
 
 // handleCampaignList is GET /api/campaigns.
 func (s *server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.queue.List())
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queue.List())
 }
 
 // handleCampaignGet is GET /api/campaigns/{id}.
 func (s *server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.queue.Get(r.PathValue("id"))
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	snap, err := queue.Get(r.PathValue("id"))
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 		return
@@ -125,7 +140,12 @@ func (s *server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 // cancel immediately, running ones have their executor interrupted.
 func (s *server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	state, err := s.queue.Cancel(id)
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	state, err := queue.Cancel(id)
 	switch {
 	case errors.Is(err, jobqueue.ErrUnknownJob):
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
@@ -142,7 +162,12 @@ func (s *server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 // result document of a completed campaign.
 func (s *server) handleCampaignArtifact(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	snap, err := s.queue.Get(id)
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	snap, err := queue.Get(id)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 		return
@@ -163,7 +188,12 @@ func (s *server) handleCampaignArtifact(w http.ResponseWriter, r *http.Request) 
 // journal JSON.
 func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, err := s.queue.Get(id); err != nil {
+	queue, err := s.campaignQueue()
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	if _, err := queue.Get(id); err != nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 		return
 	}

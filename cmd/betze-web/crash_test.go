@@ -128,20 +128,32 @@ const crashSpec = `{
 // submitCrashCampaign posts the spec and returns the campaign ID.
 func submitCrashCampaign(t *testing.T, baseURL string) string {
 	t.Helper()
-	resp, err := http.Post(baseURL+"/api/campaigns", "application/json", strings.NewReader(crashSpec))
-	if err != nil {
-		t.Fatal(err)
+	// The server listens before journal recovery finishes and sheds with
+	// 503 + Retry-After in the window between; behave like a well-mannered
+	// client and retry.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Post(baseURL+"/api/campaigns", "application/json", strings.NewReader(crashSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && time.Now().Before(deadline) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+		var snap jobqueue.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.ID
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		body, _ := io.ReadAll(resp.Body)
-		t.Fatalf("submit: %d %s", resp.StatusCode, body)
-	}
-	var snap jobqueue.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	return snap.ID
 }
 
 // campaignSnapshot fetches the campaign state; ok is false while the server

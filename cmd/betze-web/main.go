@@ -74,19 +74,16 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := newServer(cfg)
-	if err != nil {
-		return err
-	}
-	srv.start(ctx)
-
+	// Listen before replaying the journal: a long recovery must not look
+	// like a dead service. Until recoverQueue finishes, the campaign
+	// endpoints answer 503 with Retry-After.
+	srv := newServerHandler(cfg)
 	hs := newHTTPServer(srv)
 	// An explicit listener so ":0" resolves to a real port before the
 	// "listening" line is printed (the crash-resume integration test parses
 	// it to find its child).
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		srv.drain()
 		return err
 	}
 	errc := make(chan error, 1)
@@ -94,6 +91,13 @@ func run(args []string, out io.Writer) error {
 		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
+	}()
+	go func() {
+		if err := srv.recoverQueue(); err != nil {
+			errc <- fmt.Errorf("recovering campaign journal: %w", err)
+			return
+		}
+		srv.start(ctx)
 	}()
 	fmt.Fprintf(out, "BETZE web service listening on http://%s (data: %s)\n", ln.Addr(), cfg.dataDir)
 

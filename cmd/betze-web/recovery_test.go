@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/jobqueue"
+)
+
+// TestCampaignEndpointsShedDuringRecovery: while the journal is still being
+// replayed the campaign endpoints must answer 503 with a Retry-After header
+// and a structured body — not hang, not 404, not a nil-pointer panic — and
+// the same endpoints must serve normally once recovery completes.
+func TestCampaignEndpointsShedDuringRecovery(t *testing.T) {
+	srv := newServerHandler(testConfig(t))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	endpoints := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/api/campaigns"},
+		{http.MethodGet, "/api/campaigns"},
+		{http.MethodGet, "/api/campaigns/c000001"},
+		{http.MethodDelete, "/api/campaigns/c000001"},
+		{http.MethodGet, "/api/campaigns/c000001/events"},
+		{http.MethodGet, "/api/campaigns/c000001/artifact"},
+	}
+	for _, ep := range endpoints {
+		var body *strings.Reader
+		if ep.method == http.MethodPost {
+			body = strings.NewReader(smallCampaign())
+		} else {
+			body = strings.NewReader("")
+		}
+		req, err := http.NewRequest(ep.method, ts.URL+ep.path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s during recovery: status %d, want 503", ep.method, ep.path, resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("%s %s during recovery: no Retry-After header", ep.method, ep.path)
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("%s %s: Retry-After %q is not a positive integer", ep.method, ep.path, ra)
+		}
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+			t.Fatalf("%s %s: shed body not structured JSON: %v", ep.method, ep.path, err)
+		}
+		resp.Body.Close()
+		if !strings.Contains(ae.Error, "recovery") {
+			t.Fatalf("%s %s: shed body %q does not name recovery", ep.method, ep.path, ae.Error)
+		}
+	}
+
+	// The UI side is independent of the queue and must serve throughout.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index during recovery: status %d", resp.StatusCode)
+	}
+
+	// Recovery completes: submissions are admitted again.
+	if err := srv.recoverQueue(); err != nil {
+		t.Fatal(err)
+	}
+	srv.start(t.Context())
+	t.Cleanup(srv.drain)
+	sub := postCampaign(t, ts, smallCampaign(), nil)
+	if sub.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery: status %d, want 202", sub.StatusCode)
+	}
+	snap := decodeSnapshot(t, sub)
+	waitCampaign(t, ts, snap.ID, jobqueue.StateDone)
+}

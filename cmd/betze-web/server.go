@@ -37,6 +37,9 @@ type server struct {
 	reg *obs.Registry
 	cfg config
 
+	// queue is nil until recoverQueue finishes replaying the journal; the
+	// campaign endpoints shed with 503 + Retry-After in the meantime.
+	queueMu    sync.RWMutex
 	queue      *jobqueue.Queue
 	pool       *jobqueue.Pool
 	poolCancel context.CancelFunc
@@ -44,6 +47,23 @@ type server struct {
 	mu       sync.Mutex
 	nextID   int
 	sessions map[int]*storedSession
+}
+
+// recoveryRetryAfter is the Retry-After hint handed to clients that arrive
+// while the journal is still being replayed. Replay is proportional to the
+// journal size, so a short constant backoff is the honest answer.
+const recoveryRetryAfter = 2 * time.Second
+
+// campaignQueue returns the journaled queue once recovery has finished, or
+// a ShedError wrapping ErrRecovering that the shed helper maps to 503 with
+// a Retry-After header.
+func (s *server) campaignQueue() (*jobqueue.Queue, error) {
+	s.queueMu.RLock()
+	defer s.queueMu.RUnlock()
+	if s.queue == nil {
+		return nil, &jobqueue.ShedError{Err: jobqueue.ErrRecovering, RetryAfter: recoveryRetryAfter}
+	}
+	return s.queue, nil
 }
 
 type storedSession struct {
@@ -64,23 +84,23 @@ func (s *server) artifactPath(id string) string {
 // newServer opens (or recovers) the campaign queue under cfg.dataDir and
 // builds the handler. Workers do not run until start.
 func newServer(cfg config) (*server, error) {
+	s := newServerHandler(cfg)
+	if err := s.recoverQueue(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newServerHandler builds the HTTP handler without opening the campaign
+// queue: the server can accept connections immediately and answer the
+// campaign endpoints with 503 + Retry-After until recoverQueue completes.
+func newServerHandler(cfg config) *server {
 	s := &server{
 		mux:      http.NewServeMux(),
 		reg:      obs.NewRegistry(),
 		cfg:      cfg,
 		sessions: make(map[int]*storedSession),
 		nextID:   1,
-	}
-	var err error
-	s.queue, err = jobqueue.Open(s.queueDir(), jobqueue.Options{
-		MaxQueued:   cfg.maxQueued,
-		TenantRate:  cfg.quotaRate,
-		TenantBurst: cfg.quotaBurst,
-		NoSync:      cfg.noSync,
-		Obs:         obs.Scope{Metrics: s.reg},
-	})
-	if err != nil {
-		return nil, err
 	}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("POST /generate", s.handleGenerate)
@@ -103,11 +123,31 @@ func newServer(cfg config) (*server, error) {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return s, nil
+	return s
+}
+
+// recoverQueue opens the campaign queue, replaying its journal. Until this
+// returns, campaignQueue sheds; afterwards the campaign endpoints serve
+// normally.
+func (s *server) recoverQueue() error {
+	q, err := jobqueue.Open(s.queueDir(), jobqueue.Options{
+		MaxQueued:   s.cfg.maxQueued,
+		TenantRate:  s.cfg.quotaRate,
+		TenantBurst: s.cfg.quotaBurst,
+		NoSync:      s.cfg.noSync,
+		Obs:         obs.Scope{Metrics: s.reg},
+	})
+	if err != nil {
+		return err
+	}
+	s.queueMu.Lock()
+	s.queue = q
+	s.queueMu.Unlock()
+	return nil
 }
 
 // start launches the campaign worker pool under ctx; recovered campaigns
-// resume immediately.
+// resume immediately. Must be called after recoverQueue has succeeded.
 func (s *server) start(ctx context.Context) {
 	poolCtx, cancel := context.WithCancel(ctx)
 	s.poolCancel = cancel
@@ -116,14 +156,21 @@ func (s *server) start(ctx context.Context) {
 
 // drain performs the graceful-shutdown sequence: shed new submissions,
 // interrupt and release in-flight campaigns (checkpoints make the release
-// cheap), wait for the workers, seal the journal.
+// cheap), wait for the workers, seal the journal. Safe to call while the
+// queue is still recovering (nothing to drain then).
 func (s *server) drain() {
-	s.queue.Drain()
+	s.queueMu.RLock()
+	q := s.queue
+	s.queueMu.RUnlock()
+	if q == nil {
+		return
+	}
+	q.Drain()
 	if s.poolCancel != nil {
 		s.poolCancel()
 		s.pool.Wait()
 	}
-	s.queue.Close()
+	q.Close()
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {

@@ -12,15 +12,14 @@ package faultsim
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sync"
 	"time"
 
 	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/errfs"
 	"github.com/joda-explore/betze/internal/obs"
 	"github.com/joda-explore/betze/internal/query"
 )
@@ -156,23 +155,15 @@ func (e *Engine) nextAttempt(op string) int {
 	return n
 }
 
-// decide is the pure injection decision: a hash of (seed, kind, op, attempt)
-// mapped to [0, 1) and compared against the rate. Attempts at or beyond
-// MaxFaultsPerOp never fault.
+// decide is the pure injection decision: the shared errfs.Chance hash of
+// (seed, kind, op, attempt) mapped to [0, 1) and compared against the rate
+// — byte-identical to the original in-package hash, so existing seeds keep
+// their fault schedules. Attempts at or beyond MaxFaultsPerOp never fault.
 func (e *Engine) decide(kind, op string, attempt int, rate float64) bool {
 	if rate <= 0 || attempt >= e.opts.MaxFaultsPerOp {
 		return false
 	}
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(e.opts.Seed))
-	h.Write(buf[:])
-	io.WriteString(h, kind)
-	io.WriteString(h, op)
-	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
-	h.Write(buf[:])
-	// 53 mantissa bits give a uniform float in [0, 1).
-	return float64(h.Sum64()>>11)/float64(1<<53) < rate
+	return errfs.Chance(e.opts.Seed, kind, op, attempt) < rate
 }
 
 // inject records the fault in the schedule and the observability scope.

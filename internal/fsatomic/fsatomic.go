@@ -9,12 +9,18 @@
 // Append streams whose partial content is valuable after a crash — trace
 // logs, the runlog write-ahead journal — are the deliberate exception:
 // rename-on-close would lose exactly the bytes a crash investigation needs.
+//
+// All I/O goes through an errfs.FS (the *FS constructors; the plain ones
+// use the passthrough errfs.OS()), so storage faults can be injected and
+// crash states enumerated; see internal/errfs and internal/errfs/crashpoint.
 package fsatomic
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"github.com/joda-explore/betze/internal/errfs"
 )
 
 // File stages writes for one destination path. Write into it, then either
@@ -22,7 +28,8 @@ import (
 // content). Close after Commit is a no-op, so `defer f.Close()` composes
 // with an explicit Commit on the success path.
 type File struct {
-	f         *os.File
+	fsys      errfs.FS
+	f         errfs.File
 	path      string // final destination
 	tmp       string // staging file, same directory
 	perm      os.FileMode
@@ -37,20 +44,40 @@ func Create(path string) (*File, error) {
 
 // CreateMode stages a new artifact for path with the given final mode.
 func CreateMode(path string, perm os.FileMode) (*File, error) {
+	return CreateModeFS(errfs.OS(), path, perm)
+}
+
+// CreateFS is Create over an explicit filesystem.
+func CreateFS(fsys errfs.FS, path string) (*File, error) {
+	return CreateModeFS(fsys, path, 0o644)
+}
+
+// CreateModeFS is CreateMode over an explicit filesystem.
+func CreateModeFS(fsys errfs.FS, path string, perm os.FileMode) (*File, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("fsatomic: staging %s: %w", path, err)
 	}
-	return &File{f: tmp, path: path, tmp: tmp.Name(), perm: perm}, nil
+	return &File{fsys: fsys, f: tmp, path: path, tmp: tmp.Name(), perm: perm}, nil
 }
 
-// Write appends to the staged content.
+// Write appends to the staged content. A write error aborts the staging:
+// the temporary file is removed and the File is closed, so a partial
+// artifact can never be committed afterwards.
 func (w *File) Write(p []byte) (int, error) {
-	return w.f.Write(p)
+	if w.closed {
+		return 0, fmt.Errorf("fsatomic: write to %s after close", w.path)
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		w.abort()
+		return n, fmt.Errorf("fsatomic: writing %s: %w", w.path, err)
+	}
+	return n, nil
 }
 
 // Commit durably publishes the staged content under the destination path:
@@ -73,16 +100,16 @@ func (w *File) Commit() error {
 	}
 	if err := w.f.Close(); err != nil {
 		w.closed = true
-		os.Remove(w.tmp)
+		w.fsys.Remove(w.tmp)
 		return fmt.Errorf("fsatomic: closing staged %s: %w", w.path, err)
 	}
 	w.closed = true
-	if err := os.Rename(w.tmp, w.path); err != nil {
-		os.Remove(w.tmp)
+	if err := w.fsys.Rename(w.tmp, w.path); err != nil {
+		w.fsys.Remove(w.tmp)
 		return fmt.Errorf("fsatomic: publishing %s: %w", w.path, err)
 	}
 	w.committed = true
-	return syncDir(filepath.Dir(w.path))
+	return syncDirFS(w.fsys, filepath.Dir(w.path))
 }
 
 // Close discards the staged content unless Commit already published it.
@@ -97,19 +124,24 @@ func (w *File) Close() error {
 func (w *File) abort() {
 	w.f.Close()
 	w.closed = true
-	os.Remove(w.tmp)
+	w.fsys.Remove(w.tmp)
 }
 
 // WriteFile atomically replaces path with data, the os.WriteFile of this
 // package.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	f, err := CreateMode(path, perm)
+	return WriteFileFS(errfs.OS(), path, data, perm)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem.
+func WriteFileFS(fsys errfs.FS, path string, data []byte, perm os.FileMode) error {
+	f, err := CreateModeFS(fsys, path, perm)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return fmt.Errorf("fsatomic: writing %s: %w", path, err)
+		return err
 	}
 	return f.Commit()
 }
@@ -117,14 +149,14 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 // SyncDir fsyncs a directory, making recent creates/renames inside it
 // durable. Errors from platforms that refuse directory fsync are ignored —
 // the rename itself is still atomic, only its durability window widens.
-func SyncDir(dir string) error { return syncDir(dir) }
+func SyncDir(dir string) error { return syncDirFS(errfs.OS(), dir) }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("fsatomic: opening dir %s: %w", dir, err)
+// SyncDirFS is SyncDir over an explicit filesystem.
+func SyncDirFS(fsys errfs.FS, dir string) error { return syncDirFS(fsys, dir) }
+
+func syncDirFS(fsys errfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("fsatomic: syncing dir %s: %w", dir, err)
 	}
-	// Directory fsync is best-effort (EINVAL on some filesystems).
-	d.Sync()
-	return d.Close()
+	return nil
 }

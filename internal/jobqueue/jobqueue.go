@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/joda-explore/betze/internal/errfs"
 	"github.com/joda-explore/betze/internal/obs"
 	"github.com/joda-explore/betze/internal/runlog"
 )
@@ -72,6 +73,11 @@ var (
 	ErrTerminal = errors.New("jobqueue: job already terminal")
 	// ErrBadRecord reports a journal payload that is not a queue record.
 	ErrBadRecord = errors.New("jobqueue: malformed journal record")
+	// ErrRecovering reports that the queue is not available yet because
+	// journal recovery replay is still in progress — a retryable condition
+	// the HTTP layer maps to 503 + Retry-After (wrapped in a *ShedError),
+	// never an empty campaign list.
+	ErrRecovering = errors.New("jobqueue: journal recovery in progress")
 )
 
 // ShedError is an admission-control rejection: Err is ErrQueueFull, ErrQuota
@@ -106,6 +112,10 @@ type Options struct {
 	SegmentBytes int64
 	// NoSync skips journal fsync (tests only).
 	NoSync bool
+	// FS is the filesystem the journal lives on. Defaults to the
+	// passthrough errfs.OS(); the crashfuzz harness substitutes an
+	// in-memory or fault-injecting filesystem.
+	FS errfs.FS
 	// Obs receives queue metrics (depth/in-flight gauges, wait-time
 	// histogram, admission and completion counters).
 	Obs obs.Scope
@@ -128,6 +138,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.FS == nil {
+		o.FS = errfs.OS()
 	}
 	return o
 }
@@ -250,8 +263,8 @@ func Open(dir string, opts Options) (*Queue, error) {
 		nextID:  1,
 		notify:  make(chan struct{}, 1),
 	}
-	rl := runlog.Options{SegmentBytes: opts.SegmentBytes, NoSync: opts.NoSync}
-	rec, err := runlog.Recover(dir)
+	rl := runlog.Options{SegmentBytes: opts.SegmentBytes, NoSync: opts.NoSync, FS: opts.FS}
+	rec, err := runlog.RecoverFS(opts.FS, dir)
 	switch {
 	case errors.Is(err, runlog.ErrNoJournal):
 		w, cerr := runlog.Create(dir, rl)

@@ -44,6 +44,7 @@ func TestAnalyzerGolden(t *testing.T) {
 		{"atomicwrite", lint.NewAtomicwrite()},
 		{"determinism", lint.NewDeterminism()},
 		{"errwrap", lint.NewErrwrap()},
+		{"fsboundary", lint.NewFsboundary()},
 		{"ctxplumb", lint.NewCtxplumb("")},
 		{"obsvocab", lint.NewObsvocab()},
 		{"closecheck", lint.NewClosecheck()},

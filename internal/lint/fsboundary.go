@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FsboundaryScope are the import-path segments of the durability packages:
+// every byte they persist must flow through the errfs.FS seam so the
+// crash-point harness can record, fault and replay it. A direct os call in
+// one of these packages is storage the harness cannot see — untested
+// durability.
+var FsboundaryScope = []string{
+	"internal/runlog",
+	"internal/fsatomic",
+	"internal/jobqueue",
+}
+
+// fsboundaryFuncs are the os functions that touch the filesystem. Constants
+// (os.O_CREATE), sentinels (os.ErrNotExist) and error predicates are fine —
+// only the calls that read or mutate storage must go through errfs.FS.
+var fsboundaryFuncs = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"Open":       true,
+	"OpenFile":   true,
+	"WriteFile":  true,
+	"ReadFile":   true,
+	"ReadDir":    true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"Truncate":   true,
+}
+
+// fsboundary flags direct os filesystem calls — and fsyncs on raw *os.File
+// handles — inside the durability packages. Those packages take an errfs.FS
+// (default errfs.OS()) precisely so the crash-point harness can enumerate
+// every write, sync and rename; a call that bypasses the seam is invisible
+// to the fault injector and the crash simulator.
+type fsboundary struct {
+	scope []string
+}
+
+// NewFsboundary returns the fsboundary analyzer restricted to packages whose
+// import path contains one of the scope segments; an empty scope checks
+// every package (used by fixture tests).
+func NewFsboundary(scope ...string) Analyzer { return &fsboundary{scope: scope} }
+
+func (a *fsboundary) Name() string { return "fsboundary" }
+func (a *fsboundary) Doc() string {
+	return "durability packages must reach storage through the errfs.FS seam, never os directly"
+}
+
+// osHandleFuncs are the os functions whose result is a raw *os.File.
+var osHandleFuncs = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"Open":       true,
+	"OpenFile":   true,
+}
+
+func (a *fsboundary) Run(pass *Pass) {
+	if len(a.scope) > 0 && !pathHasAny(pass.Pkg.Path, a.scope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFuncCall(aliases, call); ok && path == "os" && fsboundaryFuncs[name] {
+				pass.Report(call, "os.%s bypasses the errfs.FS seam; route it through the package's FS so crash-point enumeration sees it", name)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			a.checkRawSync(pass, aliases, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkRawSync flags (*os.File).Sync calls: an fsync on a raw handle is a
+// durability barrier the trace recorder never observes. Type information
+// for the standard library is unavailable under the tolerant loader (see
+// load.go), so receivers are found two ways, both conservative: the checked
+// type says *os.File, or the identifier was assigned from an os handle
+// constructor earlier in the same function. No answer means no finding.
+func (a *fsboundary) checkRawSync(pass *Pass, aliases map[string]string, body *ast.BlockStmt) {
+	handles := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFuncCall(aliases, call); ok && path == "os" && osHandleFuncs[name] {
+				if id, ok := st.Lhs[0].(*ast.Ident); ok {
+					handles[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sync" || len(st.Args) != 0 {
+				return true
+			}
+			if a.isRawFile(pass, sel.X, handles) {
+				pass.Report(st, "(*os.File).Sync bypasses the errfs.FS seam; sync through an errfs.File so crash-point enumeration sees the barrier")
+			}
+		}
+		return true
+	})
+}
+
+// isRawFile reports whether the receiver is known to be a raw *os.File.
+func (a *fsboundary) isRawFile(pass *Pass, recv ast.Expr, handles map[string]bool) bool {
+	if pass.Pkg.Info != nil {
+		if tv, ok := pass.Pkg.Info.Types[recv]; ok && tv.Type != nil && tv.Type.String() == "*os.File" {
+			return true
+		}
+	}
+	id, ok := recv.(*ast.Ident)
+	return ok && handles[id.Name]
+}

@@ -11,6 +11,7 @@ func Analyzers() []Analyzer {
 		NewCtxplumb(),
 		NewDeterminism(DeterminismScope...),
 		NewErrwrap(),
+		NewFsboundary(FsboundaryScope...),
 		NewGoleak("internal/", "cmd/"),
 		NewJournalorder("internal/jobqueue"),
 		NewLockbalance(),

@@ -1,0 +1,46 @@
+// Package bad persists durable state through os directly, invisible to the
+// crash-point harness.
+package bad
+
+import "os"
+
+// Journal writes a journal segment with raw os calls: the fault injector
+// and crash simulator never see these ops.
+func Journal(dir string, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(dir+"/current.wal", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	// A durability barrier on a raw handle: unrecorded, unenumerable.
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/current.wal", dir+"/000001.wal")
+}
+
+// Publish has the same flaw in one-shot form.
+func Publish(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Inspect reads recovery state around the seam.
+func Inspect(dir string) ([]byte, error) {
+	if _, err := os.ReadDir(dir); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(dir + "/000001.wal")
+}
+
+// Scratch is allowed through the escape hatch: a genuinely non-durable
+// spill file can stay on os with a documented reason.
+func Scratch(path string) error {
+	//lint:ignore fsboundary scratch spill is rebuilt on start, durability not claimed
+	return os.WriteFile(path, nil, 0o600)
+}

@@ -1,0 +1,49 @@
+// Package clean persists durable state through an injected filesystem seam;
+// os supplies only flags and sentinels.
+package clean
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// FS is the storage seam (the shape of errfs.FS, local to the fixture).
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	SyncDir(dir string) error
+}
+
+// File is the handle side of the seam.
+type File interface {
+	io.WriteCloser
+	Sync() error
+}
+
+// Journal writes a segment through the seam: every write, sync and rename
+// is recordable and faultable.
+func Journal(fsys FS, dir string, payload []byte) error {
+	f, err := fsys.OpenFile(dir+"/current.wal", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(dir+"/current.wal", dir+"/000001.wal"); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

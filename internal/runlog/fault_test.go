@@ -1,0 +1,169 @@
+package runlog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+
+	"github.com/joda-explore/betze/internal/errfs"
+)
+
+// Faultable-op layout of a fresh journal: Create issues one syncdir (op 0);
+// each AppendSync is then write(header), write(payload), sync — so the
+// first AppendSync occupies ops 1-3, the second ops 4-6, and so on.
+
+// TestAppendEnospcRestoresBoundary is the crash-point regression test for
+// the partial-append bug: an ENOSPC mid-record used to leave half a record
+// in the segment with the file offset advanced, so every LATER acked record
+// landed after garbage and recovery truncated at the garbage — losing them.
+// Append must restore the boundary so records acked after a transient write
+// failure survive.
+func TestAppendEnospcRestoresBoundary(t *testing.T) {
+	mem := errfs.NewMem()
+	// Fault the header write of the second record (op 4, see layout above).
+	faulty := errfs.NewFaulty(mem, errfs.Plan{4: errfs.FaultENOSPC})
+	w, err := Create("j", Options{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSync([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	err = w.AppendSync([]byte("doomed"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want injected ENOSPC, got %v", err)
+	}
+	if !errors.Is(err, errfs.ErrInjected) {
+		t.Fatalf("injected fault not marked: %v", err)
+	}
+	// The transient fault is over; the writer must keep working and the
+	// record acked now must survive recovery.
+	if err := w.AppendSync([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverFS(mem, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("first"), []byte("after")}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d (truncated=%v reason=%v)",
+			len(rec.Records), len(want), rec.Truncated, rec.Reason)
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, rec.Records[i], want[i])
+		}
+	}
+	if rec.Truncated {
+		t.Fatalf("recovery truncated after boundary restore: %v", rec.Reason)
+	}
+}
+
+// TestSyncFailurePoisonsWriter: a failed fsync must poison the writer — the
+// kernel may have dropped the dirty pages, so a retried "success" would ack
+// records that never became durable.
+func TestSyncFailurePoisonsWriter(t *testing.T) {
+	mem := errfs.NewMem()
+	// Fault the fsync of the first AppendSync (op 3, see layout above).
+	faulty := errfs.NewFaulty(mem, errfs.Plan{3: errfs.FaultSyncFail})
+	w, err := Create("j", Options{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.AppendSync([]byte("first"))
+	if !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("want ErrWriterFailed from failed fsync, got %v", err)
+	}
+	if err := w.Append([]byte("more")); !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("poisoned writer accepted an append: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("poisoned writer reported a clean sync: %v", err)
+	}
+}
+
+// TestFollowerReadErrorClassification is the regression test for the EIO
+// misclassification bug: a failed ReadAt with partial data used to fall
+// through to the record parser, whose verdict on the cut-short buffer was
+// the PERMANENT ErrTorn sentinel — on a sealed segment that wedges the
+// follower forever over a retryable I/O error. The read failure must
+// surface as a plain I/O error and the next Poll must succeed.
+func TestFollowerReadErrorClassification(t *testing.T) {
+	mem := errfs.NewMem()
+	w, err := Create("j", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSync([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSync([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First read attempt on the sealed segment fails with EIO.
+	faulty := errfs.NewFaulty(mem, errfs.Plan{0: errfs.FaultReadErr})
+	f := NewFollowerFS(faulty, "j")
+	defer f.Close()
+	_, err = f.Poll()
+	if err == nil {
+		t.Fatal("want an I/O error from the faulted read")
+	}
+	if errors.Is(err, ErrTorn) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTooLarge) {
+		t.Fatalf("retryable I/O error misclassified as permanent corruption: %v", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected EIO not preserved: %v", err)
+	}
+	// The fault was transient: the retry drains the whole journal.
+	recs, err := f.Poll()
+	if err != nil {
+		t.Fatalf("retry after transient EIO failed: %v", err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[0], []byte("one")) || !bytes.Equal(recs[1], []byte("two")) {
+		t.Fatalf("retry returned %q", recs)
+	}
+}
+
+// TestFollowerTornActiveStillWaits: the read-error fix must not change the
+// wait classification — a torn tail on the live active segment is an append
+// in flight, not an error.
+func TestFollowerTornActiveStillWaits(t *testing.T) {
+	mem := errfs.NewMem()
+	w, err := Create("j", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSync([]byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an append in flight: write a partial header directly.
+	f, err := mem.OpenFile("j/current.wal", os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fl := NewFollowerFS(mem, "j")
+	defer fl.Close()
+	recs, err := fl.Poll()
+	if err != nil {
+		t.Fatalf("torn active tail must be a wait, got error %v", err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0], []byte("whole")) {
+		t.Fatalf("got %q", recs)
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+
+	"github.com/joda-explore/betze/internal/errfs"
 )
 
 // Follower tails a journal directory live: Poll returns every record
@@ -22,12 +25,13 @@ import (
 //
 // A Follower is not safe for concurrent use; give each consumer its own.
 type Follower struct {
-	dir string
+	fsys errfs.FS
+	dir  string
 	// nextSealed is the index the next sealed segment is expected under;
 	// seals are strictly sequential, so the active segment — once renamed —
 	// always becomes segment nextSealed.
 	nextSealed int
-	cur        *os.File
+	cur        errfs.File
 	// curSealed records whether cur was opened under a sealed name (and is
 	// therefore complete) or is the active segment (and may still grow).
 	curSealed bool
@@ -38,7 +42,12 @@ type Follower struct {
 // The directory (or the journal inside it) may not exist yet; Poll simply
 // returns nothing until it does.
 func NewFollower(dir string) *Follower {
-	return &Follower{dir: dir, nextSealed: 1}
+	return NewFollowerFS(errfs.OS(), dir)
+}
+
+// NewFollowerFS is NewFollower over an explicit filesystem.
+func NewFollowerFS(fsys errfs.FS, dir string) *Follower {
+	return &Follower{fsys: fsys, dir: dir, nextSealed: 1}
 }
 
 // Poll returns the records appended since the last call, in order. An empty
@@ -48,7 +57,9 @@ func NewFollower(dir string) *Follower {
 // or checksum-corrupt record anywhere else is reported as the wrapped
 // ErrTorn/ErrCorrupt/ErrTooLarge sentinel, after which the follower is
 // stuck at that boundary by design (the write-ahead-log truncation rule:
-// nothing after the first bad record is trustworthy).
+// nothing after the first bad record is trustworthy). A failed read (for
+// example EIO) is NOT one of those sentinels: it is returned as a plain
+// wrapped I/O error and the next Poll retries from the same boundary.
 func (f *Follower) Poll() ([][]byte, error) {
 	var out [][]byte
 	for {
@@ -84,14 +95,14 @@ func (f *Follower) Poll() ([][]byte, error) {
 func (f *Follower) open() (bool, error) {
 	sealed := filepath.Join(f.dir, fmt.Sprintf("%06d%s", f.nextSealed, sealedSuffix))
 	for {
-		if file, err := os.Open(sealed); err == nil {
+		if file, err := f.fsys.Open(sealed); err == nil {
 			f.cur, f.curSealed, f.off = file, true, 0
 			return true, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return false, fmt.Errorf("runlog: following %s: %w", sealed, err)
 		}
 		active := filepath.Join(f.dir, activeSegment)
-		file, err := os.Open(active)
+		file, err := f.fsys.Open(active)
 		if errors.Is(err, os.ErrNotExist) {
 			return false, nil // journal (or its next segment) not created yet
 		}
@@ -104,7 +115,7 @@ func (f *Follower) open() (bool, error) {
 		// path now proves which case we are in: absent means this handle
 		// predates any rotation and is exactly the segment that will seal as
 		// nextSealed (a rename after this point is what drain detects).
-		if _, err := os.Stat(sealed); errors.Is(err, os.ErrNotExist) {
+		if _, err := f.fsys.Stat(sealed); errors.Is(err, os.ErrNotExist) {
 			f.cur, f.curSealed, f.off = file, false, 0
 			return true, nil
 		} else if err != nil {
@@ -127,13 +138,13 @@ func (f *Follower) drain() (recs [][]byte, sealedUnderUs bool, err error) {
 		if err != nil {
 			return nil, false, fmt.Errorf("runlog: %w", err)
 		}
-		at, err := os.Stat(filepath.Join(f.dir, activeSegment))
+		at, err := f.fsys.Stat(filepath.Join(f.dir, activeSegment))
 		if errors.Is(err, os.ErrNotExist) {
 			sealedUnderUs = true // mid-rotation: rename done, new active pending
 		} else if err != nil {
 			return nil, false, fmt.Errorf("runlog: %w", err)
 		} else {
-			sealedUnderUs = !os.SameFile(cur, at)
+			sealedUnderUs = !f.fsys.SameFile(cur, at)
 		}
 	}
 	st, err := f.cur.Stat()
@@ -144,12 +155,22 @@ func (f *Follower) drain() (recs [][]byte, sealedUnderUs bool, err error) {
 		return nil, sealedUnderUs, nil
 	}
 	buf := make([]byte, st.Size()-f.off)
-	n, err := f.cur.ReadAt(buf, f.off)
-	if err != nil && n == 0 {
-		return nil, sealedUnderUs, fmt.Errorf("runlog: reading followed segment: %w", err)
+	n, rerr := f.cur.ReadAt(buf, f.off)
+	if errors.Is(rerr, io.EOF) {
+		// The file shrank between Stat and read (the writer truncating a
+		// partial append away); parse whatever did arrive.
+		rerr = nil
 	}
 	recs, consumed, perr := parseAvailable(buf[:n])
 	f.off += consumed
+	if rerr != nil {
+		// The read itself failed (e.g. EIO). The complete records that did
+		// arrive are consumed, but the failure must surface as a retryable
+		// I/O error — NOT fall through to the parser, whose verdict on a
+		// cut-short buffer would be the permanent ErrTorn/ErrCorrupt
+		// sentinel. The next Poll retries from the same boundary.
+		return recs, sealedUnderUs, fmt.Errorf("runlog: reading followed segment: %w", rerr)
+	}
 	if perr != nil {
 		tornActive := !f.curSealed && !sealedUnderUs && errors.Is(perr, ErrTorn)
 		if !tornActive {

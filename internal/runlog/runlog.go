@@ -16,6 +16,10 @@
 // exactly the write-ahead-log contract storage engines provide. Re-opening
 // a recovered journal for append physically truncates the torn tail first,
 // so the next record lands on a clean boundary.
+//
+// All I/O goes through an errfs.FS (Options.FS, defaulting to the
+// passthrough errfs.OS()), so storage faults can be injected and crash
+// states enumerated; see internal/errfs and internal/errfs/crashpoint.
 package runlog
 
 import (
@@ -29,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/joda-explore/betze/internal/errfs"
 )
 
 // Sentinel errors of the journal format. Readers wrap them with positional
@@ -48,6 +54,13 @@ var (
 	// ErrNoJournal is returned by Open/Recover when the directory holds no
 	// journal segments.
 	ErrNoJournal = errors.New("runlog: no journal")
+	// ErrWriterFailed marks a writer poisoned by an unrecoverable storage
+	// fault: a failed fsync (the kernel may have dropped dirty pages, so a
+	// later "success" would ack records that are not durable) or a partial
+	// append whose boundary could not be restored. Every subsequent
+	// Append/Sync fails with it; the journal directory itself is still
+	// recoverable up to the last good boundary.
+	ErrWriterFailed = errors.New("runlog: writer failed")
 )
 
 // MaxRecord bounds one record's payload; larger length prefixes are read as
@@ -72,11 +85,18 @@ type Options struct {
 	// NoSync skips fsync (tests only; production callers want the
 	// durability they came for).
 	NoSync bool
+	// FS is the filesystem all journal I/O goes through. Defaults to the
+	// passthrough errfs.OS(); tests and the crashfuzz harness substitute
+	// an in-memory or fault-injecting filesystem.
+	FS errfs.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = errfs.OS()
 	}
 	return o
 }
@@ -85,11 +105,14 @@ func (o Options) withDefaults() Options {
 type Writer struct {
 	dir       string
 	opts      Options
-	f         *os.File
+	f         errfs.File
 	size      int64
 	nextSeal  int
 	appends   int64
 	rotations int64
+	// failed poisons the writer after an unrecoverable fault; see
+	// ErrWriterFailed.
+	failed error
 }
 
 // Create initialises a fresh journal in dir (created if missing). It
@@ -97,10 +120,11 @@ type Writer struct {
 // starting over are different intents, and overwriting a journal silently
 // would destroy the recovery data it exists to provide.
 func Create(dir string, opts Options) (*Writer, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
-	segs, active, err := listSegments(dir)
+	segs, active, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -115,14 +139,14 @@ func Create(dir string, opts Options) (*Writer, error) {
 // appended records always start on a clean boundary. Callers wanting the
 // surviving records run Recover first.
 func Open(dir string, opts Options) (*Writer, error) {
-	segs, active, err := listSegments(dir)
+	opts = opts.withDefaults()
+	segs, active, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(segs) == 0 && !active {
 		return nil, fmt.Errorf("%w in %s", ErrNoJournal, dir)
 	}
-	opts = opts.withDefaults()
 	next := 1
 	if len(segs) > 0 {
 		next = segs[len(segs)-1].index + 1
@@ -133,11 +157,11 @@ func Open(dir string, opts Options) (*Writer, error) {
 	w := &Writer{dir: dir, opts: opts, nextSeal: next}
 	path := filepath.Join(dir, activeSegment)
 	// Scan the active segment for its last clean boundary and cut the tail.
-	good, _, _, err := scanSegment(path)
+	good, _, _, err := scanSegment(opts.FS, path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := opts.FS.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
@@ -155,12 +179,11 @@ func Open(dir string, opts Options) (*Writer, error) {
 }
 
 func newWriter(dir string, opts Options, nextSeal int) (*Writer, error) {
-	opts = opts.withDefaults()
-	f, err := os.OpenFile(filepath.Join(dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := opts.FS.OpenFile(filepath.Join(dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
-	if err := syncDir(dir, opts); err != nil {
+	if err := syncDir(opts.FS, dir, opts); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -169,8 +192,13 @@ func newWriter(dir string, opts Options, nextSeal int) (*Writer, error) {
 
 // Append writes one record to the active segment (buffered by the OS until
 // Sync). Rotation happens before the write, so a record is never split
-// across segments.
+// across segments. A failed write restores the last clean record boundary
+// (truncating any partial bytes) so a later append never lands after
+// garbage; if the boundary cannot be restored the writer is poisoned.
 func (w *Writer) Append(payload []byte) error {
+	if w.failed != nil {
+		return w.failed
+	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
@@ -183,23 +211,49 @@ func (w *Writer) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("runlog: %w", err)
+		return w.abortAppend(err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
-		return fmt.Errorf("runlog: %w", err)
+		return w.abortAppend(err)
 	}
 	w.size += int64(headerSize + len(payload))
 	w.appends++
 	return nil
 }
 
-// Sync makes every appended record durable.
+// abortAppend recovers from a failed record write. Partial bytes may have
+// landed and the file offset may have advanced, so the segment is truncated
+// back to the last clean boundary and the offset restored; without this, a
+// later successful AppendSync would land after garbage and recovery would
+// truncate AT the garbage — losing records that were acked AFTER the
+// transient failure. If the restore itself fails, the writer is poisoned:
+// acking anything appended over unknown partial bytes would break the
+// recovery prefix contract.
+func (w *Writer) abortAppend(werr error) error {
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.failed = fmt.Errorf("%w: append: %v; boundary restore: %v", ErrWriterFailed, werr, terr)
+		return w.failed
+	}
+	if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		w.failed = fmt.Errorf("%w: append: %v; offset restore: %v", ErrWriterFailed, werr, serr)
+		return w.failed
+	}
+	return fmt.Errorf("runlog: %w", werr)
+}
+
+// Sync makes every appended record durable. A failed fsync poisons the
+// writer: the kernel may have dropped the dirty pages, so retrying and
+// reporting success would ack records that never reached the disk.
 func (w *Writer) Sync() error {
+	if w.failed != nil {
+		return w.failed
+	}
 	if w.opts.NoSync {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("runlog: %w", err)
+		w.failed = fmt.Errorf("%w: fsync: %v", ErrWriterFailed, err)
+		return w.failed
 	}
 	return nil
 }
@@ -223,21 +277,21 @@ func (w *Writer) rotate() error {
 		return fmt.Errorf("runlog: %w", err)
 	}
 	sealed := filepath.Join(w.dir, fmt.Sprintf("%06d%s", w.nextSeal, sealedSuffix))
-	if err := os.Rename(filepath.Join(w.dir, activeSegment), sealed); err != nil {
+	if err := w.opts.FS.Rename(filepath.Join(w.dir, activeSegment), sealed); err != nil {
 		return fmt.Errorf("runlog: sealing segment: %w", err)
 	}
-	if err := syncDir(w.dir, w.opts); err != nil {
+	if err := syncDir(w.opts.FS, w.dir, w.opts); err != nil {
 		return err
 	}
 	w.nextSeal++
 	w.rotations++
-	f, err := os.OpenFile(filepath.Join(w.dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := w.opts.FS.OpenFile(filepath.Join(w.dir, activeSegment), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("runlog: %w", err)
 	}
 	w.f = f
 	w.size = 0
-	return syncDir(w.dir, w.opts)
+	return syncDir(w.opts.FS, w.dir, w.opts)
 }
 
 // Stats reports writer-side accounting.
@@ -263,33 +317,31 @@ func (w *Writer) Seal() error {
 	}
 	active := filepath.Join(w.dir, activeSegment)
 	if w.size == 0 {
-		if err := os.Remove(active); err != nil {
+		if err := w.opts.FS.Remove(active); err != nil {
 			return fmt.Errorf("runlog: removing empty active segment: %w", err)
 		}
-		return syncDir(w.dir, w.opts)
+		return syncDir(w.opts.FS, w.dir, w.opts)
 	}
 	sealed := filepath.Join(w.dir, fmt.Sprintf("%06d%s", w.nextSeal, sealedSuffix))
-	if err := os.Rename(active, sealed); err != nil {
+	if err := w.opts.FS.Rename(active, sealed); err != nil {
 		return fmt.Errorf("runlog: sealing segment: %w", err)
 	}
 	w.nextSeal++
-	return syncDir(w.dir, w.opts)
+	return syncDir(w.opts.FS, w.dir, w.opts)
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. A poisoned writer closes its
+// handle but still reports the poisoning fault.
 func (w *Writer) Close() error {
 	if w.f == nil {
 		return nil
 	}
 	err := w.Sync()
-	if cerr := w.f.Close(); err == nil {
-		err = cerr
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("runlog: %w", cerr)
 	}
 	w.f = nil
-	if err != nil {
-		return fmt.Errorf("runlog: %w", err)
-	}
-	return nil
+	return err
 }
 
 // Recovery is the result of replaying a journal directory.
@@ -313,7 +365,12 @@ type Recovery struct {
 // and the Recovery reports where and why. Only I/O errors and a missing
 // journal are returned as errors.
 func Recover(dir string) (*Recovery, error) {
-	segs, active, err := listSegments(dir)
+	return RecoverFS(errfs.OS(), dir)
+}
+
+// RecoverFS is Recover over an explicit filesystem.
+func RecoverFS(fsys errfs.FS, dir string) (*Recovery, error) {
+	segs, active, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +386,7 @@ func Recover(dir string) (*Recovery, error) {
 		paths = append(paths, filepath.Join(dir, activeSegment))
 	}
 	for _, path := range paths {
-		_, records, reason, err := scanSegment(path)
+		_, records, reason, err := scanSegment(fsys, path)
 		if err != nil {
 			return nil, err
 		}
@@ -354,8 +411,8 @@ func Recover(dir string) (*Recovery, error) {
 // stopped the scan (nil when the segment ends exactly on a boundary). I/O
 // failures are reported separately — they mean the journal is unreadable,
 // not merely torn.
-func scanSegment(path string) (good int64, records [][]byte, reason, ioErr error) {
-	data, err := os.ReadFile(path)
+func scanSegment(fsys errfs.FS, path string) (good int64, records [][]byte, reason, ioErr error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("runlog: reading %s: %w", path, err)
 	}
@@ -394,8 +451,8 @@ type segment struct {
 
 // listSegments enumerates sealed segments (sorted by index) and whether an
 // active segment exists. A missing directory is reported as no journal.
-func listSegments(dir string) ([]segment, bool, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys errfs.FS, dir string) ([]segment, bool, error) {
+	entries, err := fsys.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, nil
 	}
@@ -429,14 +486,12 @@ func listSegments(dir string) ([]segment, bool, error) {
 
 // syncDir makes directory-level changes (segment create, seal rename)
 // durable; best-effort on filesystems refusing directory fsync.
-func syncDir(dir string, opts Options) error {
+func syncDir(fsys errfs.FS, dir string, opts Options) error {
 	if opts.NoSync {
 		return nil
 	}
-	d, err := os.Open(dir)
-	if err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("runlog: %w", err)
 	}
-	d.Sync()
-	return d.Close()
+	return nil
 }

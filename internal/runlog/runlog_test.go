@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/joda-explore/betze/internal/errfs"
 )
 
 func mustCreate(t *testing.T, dir string, opts Options) *Writer {
@@ -243,7 +245,7 @@ func TestCorruptSealedSegmentStopsReplay(t *testing.T) {
 		appendAll(t, w, []byte(fmt.Sprintf("record-%d-padpadpadpad", i)))
 	}
 	w.Close()
-	segs, _, err := listSegments(dir)
+	segs, _, err := listSegments(errfs.OS(), dir)
 	if err != nil || len(segs) < 2 {
 		t.Fatalf("want >=2 sealed segments, got %d (%v)", len(segs), err)
 	}
