@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-self race race-core race-engine race-service race-tools chaos crash crashfuzz crashfuzz-deep serve-crash check bench bench-short bench-paper clean
+.PHONY: all build test vet lint lint-self race race-core race-engine race-service race-tools chaos crash crashfuzz crashfuzz-deep serve-crash loadgen-det check bench bench-short bench-paper clean
 
 all: build
 
@@ -45,7 +45,7 @@ race-engine:
 		./internal/runlog/... ./internal/fsatomic/...
 race-service:
 	$(GO) test -race ./internal/harness/... ./internal/jobqueue/... ./internal/obs/... \
-		./cmd/betze-web/...
+		./internal/loadgen/... ./cmd/betze-web/...
 race-tools:
 	$(GO) test -race . ./cmd/betze ./cmd/betze-bench/... ./cmd/betze-lint/... \
 		./examples/... ./internal/bsonlite/... ./internal/jsonblite/... \
@@ -89,15 +89,26 @@ crashfuzz-deep:
 serve-crash:
 	$(GO) test -race -run 'TestServeCrashResume' -v ./cmd/betze-web/
 
-check: vet lint lint-self race chaos crash crashfuzz serve-crash bench-short
+# Deterministic loadgen smoke: under -det-timing the open-loop verdict table
+# is a pure function of the seed (virtual-time scheduler over work-counter
+# service times), so two runs must emit byte-identical tables. The one line
+# filtered out is the wall-clock "took" footer.
+loadgen-det:
+	$(GO) run ./cmd/betze-bench -exp loadgen -det-timing -twitter-docs 2000 \
+		| grep -v 'took' > /tmp/betze-loadgen-a.txt
+	$(GO) run ./cmd/betze-bench -exp loadgen -det-timing -twitter-docs 2000 \
+		| grep -v 'took' > /tmp/betze-loadgen-b.txt
+	cmp /tmp/betze-loadgen-a.txt /tmp/betze-loadgen-b.txt
 
-# Perf suite: compiled predicates vs. the interface-dispatch path, the
-# shared scan kernel, and zone-map shard pruning (the skip= columns show the
-# fraction of documents whose shards were ruled out without evaluation), on
-# a seeded workload. Refreshes the tracked BENCH_6.json (the repo's perf
-# trajectory; see README).
+check: vet lint lint-self race chaos crash crashfuzz serve-crash loadgen-det bench-short
+
+# Perf suite: compiled predicates vs. the interface-dispatch path, the shared
+# scan kernel, zone-map shard pruning (adaptive: probes deactivate it where
+# zones prove nothing), the lock-free metrics hot path vs. a mutex baseline,
+# and the open-loop saturation sweep over the engine sims. Refreshes the
+# tracked BENCH_10.json (the repo's perf trajectory; see README).
 bench:
-	$(GO) run ./cmd/betze-bench -perf -perf-out BENCH_6.json
+	$(GO) run ./cmd/betze-bench -perf -perf-out BENCH_10.json
 
 # Short perf pass for `make check`: same suite with fewer repeats, stdout
 # only — the tracked artifact is not overwritten.

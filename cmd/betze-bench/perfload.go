@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/joda-explore/betze/internal/engine"
+	"github.com/joda-explore/betze/internal/engine/jodasim"
+	"github.com/joda-explore/betze/internal/engine/mongosim"
+	"github.com/joda-explore/betze/internal/engine/pgsim"
+	"github.com/joda-explore/betze/internal/jsonval"
+	"github.com/joda-explore/betze/internal/loadgen"
+	"github.com/joda-explore/betze/internal/query"
+)
+
+// The saturation sweep: for each engine sim, binary-search the maximum
+// open-loop session arrival rate whose virtual-time run still meets the SLO.
+// Service times are measured per query up front (one single-threaded pass
+// per engine), then the seeded scheduler replays them, so the only
+// machine-dependent input is the measured query cost — the sweep itself is
+// a deterministic function of it.
+
+// sweepSLO is the saturation contract: a run is sustainable while its tail
+// stays bounded and nothing is shed.
+func sweepSLO() loadgen.SLO {
+	return loadgen.SLO{P99: 100 * time.Millisecond, Late: 250 * time.Millisecond}
+}
+
+// sweepThinkScale compresses the explorer think times exactly like the
+// harness loadgen experiment (see internal/harness/loadgen.go): queueing
+// depends on rate-to-capacity ratios, and compressed sessions reach steady
+// state with a small population.
+const sweepThinkScale = 0.01
+
+func sweepSessions(rate float64) int {
+	n := int(3 * rate * 70 * sweepThinkScale)
+	if n < 2000 {
+		return 2000
+	}
+	if n > 100_000 {
+		return 100_000
+	}
+	return n
+}
+
+// runLoadSweep appends the per-engine max sustainable arrival rate to the
+// report.
+func runLoadSweep(ctx context.Context, out io.Writer, seed int64, docs []jsonval.Value, report *perfReport) error {
+	preds := drilldownPredicates(seed+2, 8)
+	queries := make([]*query.Query, len(preds))
+	for i, p := range preds {
+		queries[i] = &query.Query{ID: fmt.Sprintf("sweep-%d", i), Base: "sweep", Filter: p}
+	}
+
+	engines := []struct {
+		name string
+		mk   func() (engine.Engine, error)
+	}{
+		{"joda-sim", func() (engine.Engine, error) {
+			eng := jodasim.New(jodasim.Options{})
+			eng.ImportValues("sweep", docs)
+			return eng, nil
+		}},
+		{"mongodb-sim", func() (engine.Engine, error) {
+			eng := mongosim.New(mongosim.Options{})
+			eng.ImportValues("sweep", docs)
+			return eng, nil
+		}},
+		{"postgres-sim", func() (engine.Engine, error) {
+			eng := pgsim.New(pgsim.Options{})
+			return eng, eng.ImportValues("sweep", docs)
+		}},
+	}
+	for _, ec := range engines {
+		eng, err := ec.mk()
+		if err != nil {
+			return fmt.Errorf("perf: sweep import %s: %w", ec.name, err)
+		}
+		// One measured duration per query: the engines are deterministic,
+		// so the table is the whole service-time story.
+		durs := make([]time.Duration, len(queries))
+		for i, q := range queries {
+			d := perfMeasure(3, func() {
+				if _, err2 := eng.Execute(ctx, q, io.Discard); err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("perf: sweep measuring %s: %w", ec.name, err)
+			}
+			durs[i] = d
+		}
+		service := func(u loadgen.User) (time.Duration, error) {
+			return durs[(int(u.ID)+u.Query)%len(durs)], nil
+		}
+		run := func(rate float64) (loadgen.Report, error) {
+			return loadgen.Simulate(ctx, loadgen.Config{
+				Seed:       seed,
+				Sessions:   sweepSessions(rate),
+				Rate:       rate,
+				Workers:    4,
+				ThinkScale: sweepThinkScale,
+				SLO:        sweepSLO(),
+				Service:    service,
+			})
+		}
+		sr, err := loadgen.Sweep(2, 100_000, 12, run)
+		if err != nil {
+			return fmt.Errorf("perf: sweep %s: %w", ec.name, err)
+		}
+		report.MaxSustainableRate[ec.name] = round2(sr.MaxRate)
+		fmt.Fprintf(out, "%-32s %12.0f sessions/s max sustainable (%d probes)\n",
+			"load_sweep/"+ec.name, sr.MaxRate, len(sr.Probes))
+		eng.Close()
+	}
+	return nil
+}

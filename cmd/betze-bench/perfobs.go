@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// The obs metrics-path benchmarks: the lock-free sharded cells against a
+// faithful reconstruction of the previous mutex-guarded implementation, both
+// driven through testing.Benchmark with RunParallel at GOMAXPROCS. On a
+// single-core box the two paths are closer than they are under real
+// cross-core contention — which is exactly why the report records GOMAXPROCS
+// and NumCPU next to the numbers.
+
+// obsBenchResult is one measured metrics-path operation.
+type obsBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// mutexCounter is the pre-rework counter: one mutex-guarded word.
+type mutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *mutexCounter) Add(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v += n
+}
+
+// mutexHistogram is the pre-rework histogram: mutex around lazily grown
+// buckets and the min/max/sum/count summary.
+type mutexHistogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets []int64
+}
+
+func (h *mutexHistogram) Record(d time.Duration) {
+	ns := int64(d)
+	us := ns / int64(time.Microsecond)
+	idx := 0
+	for v := us; v > 0; v >>= 1 {
+		idx++
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for idx >= len(h.buckets) {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[idx]++
+	if h.count == 0 || ns < h.min {
+		h.min = ns
+	}
+	if h.count == 0 || ns > h.max {
+		h.max = ns
+	}
+	h.count++
+	h.sum += ns
+}
+
+// mutexRegistry is the pre-rework registry: one mutex around the name maps,
+// held for every lookup.
+type mutexRegistry struct {
+	mu         sync.Mutex
+	counters   map[string]*mutexCounter
+	histograms map[string]*mutexHistogram
+}
+
+func newMutexRegistry() *mutexRegistry {
+	return &mutexRegistry{
+		counters:   map[string]*mutexCounter{},
+		histograms: map[string]*mutexHistogram{},
+	}
+}
+
+func (r *mutexRegistry) counter(name string) *mutexCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &mutexCounter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *mutexRegistry) histogram(name string) *mutexHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &mutexHistogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// runObsBench measures the metrics hot path and appends the results (and the
+// lockfree-vs-mutex speedups) to the report.
+func runObsBench(out io.Writer, report *perfReport) {
+	bench := func(name string, fn func(b *testing.B)) float64 {
+		r := testing.Benchmark(fn)
+		res := obsBenchResult{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+		report.ObsBench = append(report.ObsBench, res)
+		fmt.Fprintf(out, "%-32s %12.1f ns/op  %d allocs/op\n", name, res.NsPerOp, res.AllocsPerOp)
+		return res.NsPerOp
+	}
+
+	counterLF := bench("obs_counter/lockfree", func(b *testing.B) {
+		var c obs.Counter
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	counterMu := bench("obs_counter/mutex", func(b *testing.B) {
+		var c mutexCounter
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+	})
+
+	histLF := bench("obs_histogram/lockfree", func(b *testing.B) {
+		var h obs.Histogram
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := 250 * time.Microsecond
+			for pb.Next() {
+				h.Record(d)
+			}
+		})
+	})
+	histMu := bench("obs_histogram/mutex", func(b *testing.B) {
+		var h mutexHistogram
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := 250 * time.Microsecond
+			for pb.Next() {
+				h.Record(d)
+			}
+		})
+	})
+
+	// The full instrumentation path: registry lookup by name plus the
+	// record, the line every instrumented call site actually executes.
+	pathLF := bench("obs_path/lockfree", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := 250 * time.Microsecond
+			for pb.Next() {
+				reg.Counter(obs.MScanItems).Inc()
+				reg.Histogram(obs.MLoadLatency).Record(d)
+			}
+		})
+	})
+	pathMu := bench("obs_path/mutex", func(b *testing.B) {
+		reg := newMutexRegistry()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := 250 * time.Microsecond
+			for pb.Next() {
+				reg.counter(obs.MScanItems).Add(1)
+				reg.histogram(obs.MLoadLatency).Record(d)
+			}
+		})
+	})
+
+	speedup := func(key string, mu, lf float64) {
+		if lf <= 0 {
+			return
+		}
+		report.Speedups[key] = round2(mu / lf)
+		fmt.Fprintf(out, "speedup %s (mutex/lockfree): %.2fx\n", key, report.Speedups[key])
+	}
+	speedup("obs_counter", counterMu, counterLF)
+	speedup("obs_histogram", histMu, histLF)
+	speedup("obs_path", pathMu, pathLF)
+}

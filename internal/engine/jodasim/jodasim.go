@@ -278,6 +278,12 @@ func (e *Engine) scan(ctx context.Context, st *shard.Store, filter query.Predica
 		return st.Docs(), 0, nil
 	}
 	compiled := query.Compile(filter)
+	// The adaptive pruner probes a deterministic shard prefix up front (so
+	// parallel claim order cannot perturb Skipped counts) and drops zone
+	// probing for the rest of the scan when the layout is not paying for it.
+	pruner := query.NewAdaptivePruner(compiled, st.NumShards(), func(i int) query.Zone {
+		return st.Shard(i).Zone
+	})
 	workers := e.opts.Threads
 	if workers < 1 {
 		workers = 1
@@ -286,7 +292,7 @@ func (e *Engine) scan(ctx context.Context, st *shard.Store, filter query.Predica
 	return scan.FilterShards(ctx, e.scanOptions(), st.NumShards(),
 		func(i int) ([]jsonval.Value, bool) {
 			sh := st.Shard(i)
-			return sh.Docs, compiled.CanSkip(sh.Zone)
+			return sh.Docs, pruner.CanSkip(i, sh.Zone)
 		},
 		func(w int, docs []jsonval.Value, keep []bool) (int, error) {
 			ev := evals[w]

@@ -203,10 +203,13 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	// predicate over materialised documents; the default mode keeps the
 	// lazy per-leaf walks over raw BSON.
 	compiled := query.Compile(q.Filter)
+	pruner := query.NewAdaptivePruner(compiled, len(coll.blocks), func(i int) query.Zone {
+		return coll.blocks[i].zone
+	})
 	var outBuf []byte
 	if _, err := scan.StreamShards(ctx, scan.Options{Engine: e.Name()}, len(coll.blocks),
 		func(i int) bool {
-			if !compiled.CanSkip(coll.blocks[i].zone) {
+			if !pruner.CanSkip(i, coll.blocks[i].zone) {
 				return false
 			}
 			stats.Skipped += int64(coll.blocks[i].docCount)

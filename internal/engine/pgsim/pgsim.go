@@ -288,6 +288,9 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	// predicate over materialised rows; the default mode keeps the
 	// per-leaf detoast + binary-searched lookups.
 	compiled := query.Compile(q.Filter)
+	pruner := query.NewAdaptivePruner(compiled, len(tbl.shards), func(i int) query.Zone {
+		return tbl.shards[i].zone
+	})
 	var storeTB *tableBuilder
 	if q.Store != "" {
 		storeTB = newTableBuilder()
@@ -296,7 +299,7 @@ func (e *Engine) Execute(ctx context.Context, q *query.Query, sink io.Writer) (s
 	if _, err := scan.StreamShards(ctx, scan.Options{Engine: e.Name()}, len(tbl.shards),
 		func(i int) bool {
 			sh := tbl.shards[i]
-			if !compiled.CanSkip(sh.zone) {
+			if !pruner.CanSkip(i, sh.zone) {
 				return false
 			}
 			stats.Skipped += int64(sh.end - sh.start)

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arrival-process kinds. The names double as the Kind of the load_run trace
+// event (mirrored as obs.KindPoisson/KindBursty in the closed vocabulary).
+const (
+	// Poisson is the memoryless arrival process: independent exponential
+	// inter-arrival gaps at the configured mean rate.
+	Poisson = "poisson"
+	// Bursty is a two-state MMPP (Markov-modulated Poisson process):
+	// calm stretches at a reduced rate broken by bursts at
+	// BurstFactor×Rate, with exponentially distributed dwell times. The
+	// long-run mean rate still equals Rate, so sweeps stay comparable —
+	// bursts redistribute the same offered load into worst-case windows.
+	Bursty = "bursty"
+)
+
+// ArrivalSpec shapes the session arrival process. The mean rate itself
+// lives in Config.Rate so saturation sweeps can vary it alone.
+type ArrivalSpec struct {
+	// Kind is Poisson (default when empty) or Bursty.
+	Kind string
+	// BurstFactor is the burst-state rate multiplier (Bursty only).
+	// Default 4.
+	BurstFactor float64
+	// BurstDwell and CalmDwell are the mean state dwell times (Bursty
+	// only). Defaults 2s and 8s.
+	BurstDwell time.Duration
+	CalmDwell  time.Duration
+}
+
+func (s ArrivalSpec) withDefaults() (ArrivalSpec, error) {
+	if s.Kind == "" {
+		s.Kind = Poisson
+	}
+	if s.Kind != Poisson && s.Kind != Bursty {
+		return s, fmt.Errorf("loadgen: unknown arrival kind %q (want %s or %s)", s.Kind, Poisson, Bursty)
+	}
+	if s.BurstFactor <= 1 {
+		s.BurstFactor = 4
+	}
+	if s.BurstDwell <= 0 {
+		s.BurstDwell = 2 * time.Second
+	}
+	if s.CalmDwell <= 0 {
+		s.CalmDwell = 8 * time.Second
+	}
+	// The calm-state rate compensating the burst state must stay
+	// positive: factor×burstShare < 1.
+	burstShare := float64(s.BurstDwell) / float64(s.BurstDwell+s.CalmDwell)
+	if s.BurstFactor*burstShare >= 1 {
+		return s, fmt.Errorf("loadgen: burst factor %.3g over dwell share %.3g leaves no calm-state rate", s.BurstFactor, burstShare)
+	}
+	return s, nil
+}
+
+// arrivals generates the absolute (virtual-nanosecond) session arrival
+// instants for one run.
+type arrivals struct {
+	spec     ArrivalSpec
+	rng      prng
+	now      int64 // virtual ns of the last arrival
+	burst    bool
+	switchAt int64 // virtual ns at which the current MMPP state ends
+	calmGap  time.Duration
+	burstGap time.Duration
+}
+
+func newArrivals(spec ArrivalSpec, rate float64, rng prng) *arrivals {
+	a := &arrivals{spec: spec, rng: rng}
+	meanGap := time.Duration(float64(time.Second) / rate)
+	if spec.Kind == Poisson {
+		a.calmGap = meanGap
+		return a
+	}
+	// Split the mean rate over the two MMPP states: bursts run at
+	// factor×rate; the calm rate is solved so the dwell-weighted mean
+	// stays at rate.
+	burstShare := float64(spec.BurstDwell) / float64(spec.BurstDwell+spec.CalmDwell)
+	calmRate := rate * (1 - spec.BurstFactor*burstShare) / (1 - burstShare)
+	a.burstGap = time.Duration(float64(time.Second) / (rate * spec.BurstFactor))
+	a.calmGap = time.Duration(float64(time.Second) / calmRate)
+	a.switchAt = int64(a.rng.expDur(spec.CalmDwell))
+	return a
+}
+
+// next returns the absolute time of the next arrival.
+func (a *arrivals) next() int64 {
+	if a.spec.Kind == Poisson {
+		a.now += int64(a.rng.expDur(a.calmGap))
+		return a.now
+	}
+	for {
+		gap := a.calmGap
+		if a.burst {
+			gap = a.burstGap
+		}
+		candidate := a.now + int64(a.rng.expDur(gap))
+		if candidate <= a.switchAt {
+			a.now = candidate
+			return a.now
+		}
+		// The state flips before the candidate fires: advance to the
+		// switch and redraw from the new state's rate (the memoryless
+		// property makes the discard exact, not an approximation).
+		a.now = a.switchAt
+		a.burst = !a.burst
+		dwell := a.spec.CalmDwell
+		if a.burst {
+			dwell = a.spec.BurstDwell
+		}
+		a.switchAt = a.now + int64(a.rng.expDur(dwell))
+	}
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+// event is one scheduled instant: a session arrival (u == nil, the single
+// generator event) or a user's next query becoming due.
+type event struct {
+	at  int64 // virtual or wall-offset nanoseconds
+	seq int64 // creation order: deterministic tie-break for equal times
+	u   *user
+}
+
+// eventHeap is a plain binary min-heap ordered by (at, seq). Hand-rolled
+// rather than container/heap to keep the hot loop free of interface calls
+// and to make the deterministic tie-break explicit.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = event{} // release the *user for the GC
+	*h = s[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+// int64Heap is a min-heap of instants: the virtual servers' free-at times
+// and the pending-start backlog both live in one.
+type int64Heap []int64
+
+func (h *int64Heap) push(v int64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[i] >= (*h)[parent] {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *int64Heap) pop() int64 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = *h
+	n := len(s)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l] < s[small] {
+			small = l
+		}
+		if r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+func (h int64Heap) min() int64 { return h[0] }

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// prng is a splitmix64 generator: 8 bytes of state, so every one of
+// millions of virtual users can carry its own independent stream (a
+// math/rand.Rand would cost ~5KiB of state each). Streams are derived from
+// (seed, user id), making every user's draws independent of scheduling and
+// of every other user — the property the byte-identical-report guarantee
+// rests on.
+type prng struct{ s uint64 }
+
+// newPrng derives the stream for one (seed, stream) pair, mixing both
+// through the output function so adjacent ids do not yield adjacent states.
+func newPrng(seed int64, stream uint64) prng {
+	p := prng{s: uint64(seed) ^ (stream+1)*0x9e3779b97f4a7c15}
+	p.next()
+	return p
+}
+
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 draws uniformly from [0, 1).
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// intn draws uniformly from [0, n).
+func (p *prng) intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// expDur draws Exp(mean) as a duration: the inter-arrival and think-time
+// distribution of the explorer model.
+func (p *prng) expDur(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := -math.Log(1-p.float64()) * float64(mean)
+	if d > float64(math.MaxInt64)/2 {
+		d = float64(math.MaxInt64) / 2
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+
+	"context"
+
+	"github.com/joda-explore/betze/internal/obs"
+)
+
+// dispatchItem is one query handed to the worker pool with its open-loop due
+// instant (wall offset from the run base).
+type dispatchItem struct {
+	u   *user
+	due int64
+}
+
+// workerResult flows back from the pool so the single scheduler goroutine
+// owns all session bookkeeping.
+type workerResult struct {
+	u       *user
+	end     int64
+	latency int64
+	failed  bool
+}
+
+// Run drives the Service on the wall clock: a scheduler goroutine multiplexes
+// the session state machines over a timer and a pool of Workers goroutines.
+// Arrival, preset, and think-time draws come from the same seeded streams as
+// Simulate, but latencies are measured, so reports vary run to run. Queries
+// due while the dispatch queue is full are shed; latency is measured from the
+// due instant, never from dispatch (no coordinated omission).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg, err := validate(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Rate: cfg.Rate, Arrivals: cfg.Arrivals.Kind}
+	lat, qwait := &obs.Histogram{}, &obs.Histogram{}
+	backlogGauge := cfg.Obs.Gauge(obs.MLoadBacklog)
+
+	// The one wall-clock read: everything downstream is an offset from it.
+	//lint:ignore determinism Run measures real wall-clock latencies by design; the seeded reproducible path is Simulate.
+	base := time.Now()
+	now := func() int64 { return int64(time.Since(base)) }
+
+	dispatch := make(chan dispatchItem, cfg.QueueCap)
+	// Results are buffered past the worst-case in-flight count so workers
+	// never block on the scheduler.
+	results := make(chan workerResult, cfg.QueueCap+cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range dispatch {
+				start := now()
+				wait := start - it.due
+				if wait < 0 {
+					wait = 0
+				}
+				_, serr := cfg.Service(it.u.view(cfg))
+				end := now()
+				// Lock-free obs hot path: zero-alloc records from every
+				// worker into sharded cells.
+				lat.Record(time.Duration(end - it.due))
+				qwait.Record(time.Duration(wait))
+				results <- workerResult{u: it.u, end: end, latency: end - it.due, failed: serr != nil}
+			}
+		}()
+	}
+
+	var (
+		evs      eventHeap
+		seq      int64
+		arrived  int
+		inflight int
+		aborted  bool
+	)
+	push := func(at int64, u *user) {
+		seq++
+		evs.push(event{at: at, seq: seq, u: u})
+	}
+	arr := newArrivals(cfg.Arrivals, cfg.Rate, newPrng(cfg.Seed, 0))
+	push(arr.next(), nil)
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	sessionDone := func(u *user, at int64) {
+		u.idx++
+		if u.idx < u.total {
+			push(at+int64(u.think(cfg)), u)
+		}
+	}
+	handleResult := func(r workerResult) {
+		inflight--
+		if r.failed {
+			rep.Errors++
+		} else {
+			rep.Completed++
+		}
+		if cfg.SLO.Late > 0 && r.latency > int64(cfg.SLO.Late) {
+			rep.Late++
+		}
+		sessionDone(r.u, r.end)
+	}
+
+	for !aborted && (len(evs) > 0 || inflight > 0) {
+		if len(evs) == 0 {
+			select {
+			case r := <-results:
+				handleResult(r)
+			case <-ctx.Done():
+				aborted = true
+			}
+			continue
+		}
+		wait := time.Duration(evs[0].at - now())
+		if wait < 0 {
+			wait = 0
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+			// Drain everything that has come due; arrivals enqueue the
+			// user's first query at the same instant, so it dispatches in
+			// this same drain.
+			t := now()
+			for len(evs) > 0 && evs[0].at <= t {
+				e := evs.pop()
+				if e.u == nil {
+					arrived++
+					rep.Sessions++
+					push(e.at, newUser(cfg, int64(arrived)))
+					if arrived < cfg.Sessions {
+						push(arr.next(), nil)
+					}
+					continue
+				}
+				rep.Queries++
+				select {
+				case dispatch <- dispatchItem{u: e.u, due: e.at}:
+					inflight++
+					if b := len(dispatch); b > rep.MaxBacklog {
+						rep.MaxBacklog = b
+						backlogGauge.Set(float64(b))
+					}
+				default:
+					// Queue full: open-loop shed, the session moves on.
+					rep.Shed++
+					sessionDone(e.u, t)
+				}
+			}
+		case r := <-results:
+			handleResult(r)
+		case <-ctx.Done():
+			aborted = true
+		}
+	}
+	close(dispatch)
+	wg.Wait()
+	rep.Horizon = time.Duration(now())
+	rep.Latency = lat.Snapshot()
+	rep.QueueWait = qwait.Snapshot()
+	rep.evaluate(cfg.SLO)
+	rep.publish(cfg, lat, qwait)
+	if aborted {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}

@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SweepResult is the outcome of one saturation search.
+type SweepResult struct {
+	// MaxRate is the highest probed arrival rate (sessions/s) whose run
+	// passed its SLO; 0 when even the lowest probe failed.
+	MaxRate float64 `json:"max_rate"`
+	// Probes holds every probed run in probe order.
+	Probes []Report `json:"probes"`
+}
+
+// Sweep binary-searches the maximum sustainable arrival rate: the highest
+// sessions/s at which run still passes its SLO. run must map a rate to a
+// finished Report (typically a closure over a Config calling Simulate, so
+// the search is deterministic). lo must pass-or-fail cheaply: the search
+// first brackets [lo, hi], then halves the interval `steps` times.
+func Sweep(lo, hi float64, steps int, run func(rate float64) (Report, error)) (SweepResult, error) {
+	var sr SweepResult
+	if lo <= 0 || hi <= lo {
+		return sr, fmt.Errorf("loadgen: sweep wants 0 < lo < hi, got [%g, %g]", lo, hi)
+	}
+	if steps < 1 {
+		return sr, errors.New("loadgen: sweep wants at least one bisection step")
+	}
+	probe := func(rate float64) (bool, error) {
+		r, err := run(rate)
+		if err != nil {
+			return false, err
+		}
+		sr.Probes = append(sr.Probes, r)
+		return r.Pass, nil
+	}
+	ok, err := probe(lo)
+	if err != nil {
+		return sr, err
+	}
+	if !ok {
+		// Saturated below the bracket: report 0 rather than guessing.
+		return sr, nil
+	}
+	sr.MaxRate = lo
+	if ok, err = probe(hi); err != nil {
+		return sr, err
+	} else if ok {
+		sr.MaxRate = hi
+		return sr, nil
+	}
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		if ok, err = probe(mid); err != nil {
+			return sr, err
+		}
+		if ok {
+			sr.MaxRate, lo = mid, mid
+		} else {
+			hi = mid
+		}
+	}
+	return sr, nil
+}

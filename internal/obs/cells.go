@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"unsafe"
+)
+
+// The metrics hot path is sharded: every counter and histogram keeps one
+// update cell per (rounded-up) GOMAXPROCS, cache-line padded so concurrent
+// writers on different cores never bounce the same line, and a reader merges
+// the cells on demand. Writers pick a cell from a hash of a stack address —
+// goroutine stacks are spread across the address space, so co-scheduled
+// goroutines land on different cells with high probability — which needs no
+// runtime hooks, no allocation, and no synchronisation. A "wrong" pick is
+// only ever a performance question (two writers sharing a cell), never a
+// correctness one: every cell accepts every update atomically.
+
+// cellCount is the number of update cells per metric: GOMAXPROCS at process
+// start rounded up to a power of two (so cell picking is a mask, not a
+// modulo), clamped to [8, 32] — the floor keeps sharding active when
+// GOMAXPROCS is raised after init (go test -cpu, runtime calls), the ceiling
+// bounds per-histogram memory on very wide machines.
+var cellCount = computeCellCount(runtime.GOMAXPROCS(0))
+
+func computeCellCount(procs int) int {
+	n := 8
+	for n < procs && n < 32 {
+		n <<= 1
+	}
+	return n
+}
+
+// cellIndex picks the update cell for the calling goroutine. The probe
+// variable's address identifies the goroutine's current stack; dropping the
+// low bits (frames within one stack share them) and mixing the rest spreads
+// goroutines uniformly over the cells.
+func cellIndex() int {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe)) >> 10)
+	h *= 0x9e3779b97f4a7c15 // Fibonacci hashing: spread entropy into the low bits
+	h ^= h >> 33
+	return int(h) & (cellCount - 1)
+}

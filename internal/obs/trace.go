@@ -66,6 +66,10 @@ const (
 	// the worker goroutine count. Scan events carry no Duration: the
 	// kernel is in the determinism lint scope and never reads the clock.
 	EvScan = "scan"
+	// EvLoadRun records one completed load-generation run; Kind is the
+	// arrival process ("poisson", "bursty"), Queries the issued-query
+	// count, Workers the pool bound and Duration the run horizon.
+	EvLoadRun = "load_run"
 )
 
 // Event is one structured trace record. Zero-valued fields are omitted from
